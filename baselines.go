@@ -1,0 +1,103 @@
+package sbitmap
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/exact"
+	"repro/internal/fm"
+	"repro/internal/hyperloglog"
+	"repro/internal/linearcount"
+	"repro/internal/loglog"
+	"repro/internal/mrbitmap"
+	"repro/internal/virtualbitmap"
+)
+
+// This file exposes the baseline sketches the paper compares against, all
+// behind the same Counter interface and all dimensioned from a shared
+// (memory budget, cardinality bound) vocabulary so that like-for-like
+// comparisons — the whole point of the paper's Section 6 — are one
+// constructor call away.
+
+// NewLinearCounting returns a Whang et al. (1990) linear-counting sketch
+// with mbits bits. Accurate while n stays well below mbits·ln(mbits);
+// memory scales almost linearly with the counted cardinality.
+func NewLinearCounting(mbits int, opts ...Option) Counter {
+	o := buildOptions(opts)
+	if o.mkHasher != nil {
+		return linearcount.NewWithHasher(mbits, o.mkHasher(o.seed))
+	}
+	return linearcount.New(mbits, o.seed)
+}
+
+// NewVirtualBitmap returns an Estan et al. (2006) virtual bitmap: linear
+// counting over a hash-sampled substream, dimensioned so its accurate band
+// is centered on cardinalities near n.
+func NewVirtualBitmap(mbits int, n float64, opts ...Option) Counter {
+	o := buildOptions(opts)
+	rate := virtualbitmap.RateFor(mbits, n)
+	if o.mkHasher != nil {
+		return virtualbitmap.NewWithHasher(mbits, rate, o.mkHasher(o.seed))
+	}
+	return virtualbitmap.New(mbits, rate, o.seed)
+}
+
+// NewMRBitmap returns an Estan et al. (2006) multiresolution bitmap
+// dimensioned quasi-optimally for mbits bits and cardinalities up to n.
+func NewMRBitmap(mbits int, n float64, opts ...Option) (Counter, error) {
+	cfg, err := mrbitmap.Dimension(mbits, n)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	if o.mkHasher != nil {
+		return mrbitmap.NewWithHasher(cfg, o.mkHasher(o.seed)), nil
+	}
+	return mrbitmap.New(cfg, o.seed), nil
+}
+
+// NewFM returns a Flajolet–Martin (1985) PCSA sketch fitted into mbits
+// bits (32-bit registers).
+func NewFM(mbits int, opts ...Option) Counter {
+	o := buildOptions(opts)
+	m := fm.MemoryForBits(mbits)
+	if o.mkHasher != nil {
+		return fm.NewWithHasher(m, o.mkHasher(o.seed))
+	}
+	return fm.New(m, o.seed)
+}
+
+// NewLogLog returns a Durand–Flajolet (2003) LogLog counter fitted into
+// mbits bits (5-bit registers, power-of-two register count).
+func NewLogLog(mbits int, opts ...Option) Counter {
+	o := buildOptions(opts)
+	k := loglog.KBitsForBudget(mbits)
+	if o.mkHasher != nil {
+		return loglog.NewWithHasher(k, o.mkHasher(o.seed))
+	}
+	return loglog.New(k, o.seed)
+}
+
+// NewHyperLogLog returns a Flajolet et al. (2007) HyperLogLog counter
+// fitted into mbits bits (5-bit registers, power-of-two register count).
+func NewHyperLogLog(mbits int, opts ...Option) Counter {
+	o := buildOptions(opts)
+	k := hyperloglog.KBitsForBudget(mbits)
+	if o.mkHasher != nil {
+		return hyperloglog.NewWithHasher(k, o.mkHasher(o.seed))
+	}
+	return hyperloglog.New(k, o.seed)
+}
+
+// NewAdaptiveSampler returns Wegman's adaptive sampler (Flajolet 1990)
+// fitted into mbits bits (64 bits per retained hash).
+func NewAdaptiveSampler(mbits int, opts ...Option) Counter {
+	o := buildOptions(opts)
+	c := adaptive.CapacityForBits(mbits)
+	if o.mkHasher != nil {
+		return adaptive.NewSamplerWithHasher(c, o.mkHasher(o.seed))
+	}
+	return adaptive.NewSampler(c, o.seed)
+}
+
+// NewExact returns the exact (linear-memory) distinct counter, useful as
+// ground truth in tests and examples.
+func NewExact() Counter { return exact.New() }

@@ -1,0 +1,118 @@
+// Command distinct estimates the number of distinct lines on stdin using a
+// chosen sketch — a minimal production-shaped consumer of the library.
+//
+// Usage:
+//
+//	cat access.log | awk '{print $1}' | distinct                 # S-bitmap, defaults
+//	distinct -algo hll -mbits 4096 < ids.txt                     # HyperLogLog
+//	distinct -algo exact < ids.txt                               # ground truth
+//	distinct -algo all -n 1e7 -eps 0.02 < ids.txt                # compare everything
+//
+// The -n / -eps pair dimensions the S-bitmap (and sizes budget-based
+// competitors via -mbits); output reports the estimate and the memory the
+// summary consumed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	sbitmap "repro"
+)
+
+func main() {
+	var (
+		algo  = flag.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
+		n     = flag.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
+		eps   = flag.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
+		mbits = flag.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
+		seed  = flag.Uint64("seed", 1, "hash seed")
+	)
+	flag.Parse()
+
+	budget := *mbits
+	if budget == 0 {
+		var err error
+		budget, err = sbitmap.Memory(*n, *eps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	counters, err := buildCounters(*algo, *n, *eps, budget, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
+		os.Exit(1)
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lines := 0
+	for scanner.Scan() {
+		for _, c := range counters {
+			c.counter.Add(scanner.Bytes())
+		}
+		lines++
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "distinct: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d lines read\n", lines)
+	for _, c := range counters {
+		fmt.Printf("%-10s estimate %12.0f   memory %8d bits\n",
+			c.name, c.counter.Estimate(), c.counter.SizeBits())
+	}
+}
+
+type namedCounter struct {
+	name    string
+	counter sbitmap.Counter
+}
+
+func buildCounters(algo string, n, eps float64, budget int, seed uint64) ([]namedCounter, error) {
+	mk := func(name string) (namedCounter, error) {
+		switch name {
+		case "sbitmap":
+			s, err := sbitmap.New(n, eps, sbitmap.WithSeed(seed))
+			return namedCounter{name, s}, err
+		case "hll":
+			return namedCounter{name, sbitmap.NewHyperLogLog(budget, sbitmap.WithSeed(seed))}, nil
+		case "loglog":
+			return namedCounter{name, sbitmap.NewLogLog(budget, sbitmap.WithSeed(seed))}, nil
+		case "mr":
+			c, err := sbitmap.NewMRBitmap(budget, n, sbitmap.WithSeed(seed))
+			return namedCounter{name, c}, err
+		case "lc":
+			return namedCounter{name, sbitmap.NewLinearCounting(budget, sbitmap.WithSeed(seed))}, nil
+		case "fm":
+			return namedCounter{name, sbitmap.NewFM(budget, sbitmap.WithSeed(seed))}, nil
+		case "adaptive":
+			return namedCounter{name, sbitmap.NewAdaptiveSampler(budget, sbitmap.WithSeed(seed))}, nil
+		case "exact":
+			return namedCounter{name, sbitmap.NewExact()}, nil
+		default:
+			return namedCounter{}, fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+	if algo == "all" {
+		var out []namedCounter
+		for _, name := range []string{"sbitmap", "hll", "loglog", "mr", "lc", "fm", "adaptive", "exact"} {
+			c, err := mk(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	}
+	c, err := mk(algo)
+	if err != nil {
+		return nil, err
+	}
+	return []namedCounter{c}, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestBuildCountersSingle(t *testing.T) {
+	for _, algo := range []string{"sbitmap", "hll", "loglog", "mr", "lc", "fm", "adaptive", "exact"} {
+		cs, err := buildCounters(algo, 1e5, 0.02, 8000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(cs) != 1 || cs[0].name != algo {
+			t.Fatalf("%s: got %v", algo, cs)
+		}
+		// Every built counter must actually count.
+		for i := uint64(0); i < 1000; i++ {
+			cs[0].counter.AddUint64(i)
+		}
+		est := cs[0].counter.Estimate()
+		if est < 300 || est > 3000 {
+			t.Errorf("%s: estimate %.0f for n=1000", algo, est)
+		}
+	}
+}
+
+func TestBuildCountersAll(t *testing.T) {
+	cs, err := buildCounters("all", 1e5, 0.02, 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 8 {
+		t.Fatalf("all built %d counters, want 8", len(cs))
+	}
+}
+
+func TestBuildCountersErrors(t *testing.T) {
+	if _, err := buildCounters("nope", 1e5, 0.02, 8000, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := buildCounters("mr", 1e9, 0.02, 64, 1); err == nil {
+		t.Error("impossible mr-bitmap dimensioning accepted")
+	}
+}

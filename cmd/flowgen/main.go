@@ -1,0 +1,78 @@
+// Command flowgen emits the synthetic network-flow workloads used by the
+// Section 7 reproductions, for inspection or for piping into `distinct`.
+//
+// Usage:
+//
+//	flowgen -trace slammer -link 1 -counts          # per-minute flow counts
+//	flowgen -trace slammer -link 0 -minute 42       # flow keys of one minute
+//	flowgen -trace backbone -counts                 # 600-link snapshot
+//	flowgen -trace backbone -link 7                 # keys of one link
+//
+// Keys print one per line as 16-digit hex, so
+//
+//	flowgen -trace slammer -link 1 -minute 42 | distinct -algo all -n 1e6
+//
+// compares every sketch on a realistic duplicated stream.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netflow"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		trace  = flag.String("trace", "slammer", "workload: slammer|backbone")
+		link   = flag.Int("link", 1, "link index (slammer: 0 or 1; backbone: 0..599)")
+		minute = flag.Int("minute", -1, "slammer minute to emit keys for (with -counts unset)")
+		counts = flag.Bool("counts", false, "emit true distinct counts instead of keys")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *trace {
+	case "slammer":
+		tr := netflow.Slammer(*link, *seed)
+		if *counts {
+			fmt.Fprintln(w, "# minute  true_flows")
+			for i, c := range tr.Counts {
+				fmt.Fprintf(w, "%d %d\n", i, c)
+			}
+			return
+		}
+		if *minute < 0 || *minute >= len(tr.Counts) {
+			fmt.Fprintf(os.Stderr, "flowgen: -minute must be in [0, %d) when emitting keys\n", len(tr.Counts))
+			os.Exit(1)
+		}
+		stream.ForEach(tr.IntervalStream(*minute), func(x uint64) {
+			fmt.Fprintf(w, "%016x\n", x)
+		})
+	case "backbone":
+		snapshot := netflow.BackboneSnapshot(600, *seed)
+		if *counts {
+			fmt.Fprintln(w, "# link  true_flows")
+			for i, c := range snapshot {
+				fmt.Fprintf(w, "%d %d\n", i, c)
+			}
+			return
+		}
+		if *link < 0 || *link >= len(snapshot) {
+			fmt.Fprintf(os.Stderr, "flowgen: -link must be in [0, 600)\n")
+			os.Exit(1)
+		}
+		stream.ForEach(netflow.LinkStream(snapshot[*link], *seed^uint64(*link)<<20), func(x uint64) {
+			fmt.Fprintf(w, "%016x\n", x)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "flowgen: unknown trace %q (slammer|backbone)\n", *trace)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command sbdim is the S-bitmap dimensioning calculator: given any two of
+// (N, m, ε) it derives the third from Equation (7) of the paper and prints
+// the resulting configuration, including the sampling-rate schedule's key
+// points and the memory a HyperLogLog would need for the same guarantee.
+//
+// Usage:
+//
+//	sbdim -n 1e6 -eps 0.01        # memory needed for ±1% up to 1M
+//	sbdim -n 1e6 -m 8000          # error achievable with 8000 bits
+//	sbdim -m 30000 -c 10000       # range reachable with m bits at C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hyperloglog"
+)
+
+func main() {
+	var (
+		n   = flag.Float64("n", 0, "cardinality upper bound N")
+		m   = flag.Int("m", 0, "memory budget in bits")
+		eps = flag.Float64("eps", 0, "target RRMSE (e.g. 0.01)")
+		c   = flag.Float64("c", 0, "accuracy parameter C (alternative to -eps)")
+	)
+	flag.Parse()
+
+	cfg, err := solve(*n, *m, *eps, *c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbdim: %v\n", err)
+		fmt.Fprintln(os.Stderr, "provide two of: -n, -m, -eps (or -c)")
+		os.Exit(1)
+	}
+
+	fmt.Printf("S-bitmap configuration (Equation 7: m = C/2 + ln(1+2N/C)/ln(1+2/(C-1)))\n\n")
+	fmt.Printf("  m        %d bits (%.1f KiB)\n", cfg.M(), float64(cfg.M())/8192)
+	fmt.Printf("  N        %.6g\n", cfg.N())
+	fmt.Printf("  C        %.4f\n", cfg.C())
+	fmt.Printf("  epsilon  %.4f (%.2f%% RRMSE, scale-invariant over [1, N])\n", cfg.Epsilon(), 100*cfg.Epsilon())
+	fmt.Printf("  r        %.8f\n", cfg.R())
+	fmt.Printf("  k*       %d (truncation point m - C/2)\n\n", cfg.KMax())
+
+	fmt.Printf("sampling-rate schedule p_k = m/(m+1-k)·(1+1/C)·r^k:\n")
+	for _, k := range []int{1, cfg.KMax() / 4, cfg.KMax() / 2, 3 * cfg.KMax() / 4, cfg.KMax()} {
+		if k < 1 {
+			continue
+		}
+		fmt.Printf("  p_%-7d = %.6g   (estimate at fill %d: t = %.6g)\n", k, cfg.P(k), k, cfg.T(k))
+	}
+
+	if hll, err := hyperloglog.MemoryBitsFor(cfg.N(), cfg.Epsilon()); err == nil {
+		ratio := float64(hll) / float64(cfg.M())
+		verdict := "S-bitmap wins"
+		if ratio < 1 {
+			verdict = "HyperLogLog wins"
+		}
+		fmt.Printf("\nHyperLogLog at the same (N, ε): %d bits — ratio %.2f (%s)\n", hll, ratio, verdict)
+	}
+}
+
+// solve builds a Config from whichever two parameters were provided.
+func solve(n float64, m int, eps, c float64) (*core.Config, error) {
+	if eps > 0 && c > 0 {
+		return nil, fmt.Errorf("-eps and -c are aliases; provide one")
+	}
+	if c > 0 {
+		eps = 0 // C takes priority below
+	}
+	switch {
+	case n > 0 && m > 0 && eps == 0 && c == 0:
+		return core.NewConfigMN(m, n)
+	case n > 0 && eps > 0 && m == 0:
+		return core.NewConfigNE(n, eps)
+	case n > 0 && c > 0 && m == 0:
+		return core.NewConfigNE(n, 1/math.Sqrt(c-1))
+	case m > 0 && c > 0 && n == 0:
+		return core.NewConfigMC(m, c)
+	case m > 0 && eps > 0 && n == 0:
+		return core.NewConfigMC(m, 1+1/(eps*eps))
+	default:
+		return nil, fmt.Errorf("need exactly two of -n, -m, -eps/-c (got n=%g m=%d eps=%g c=%g)", n, m, eps, c)
+	}
+}

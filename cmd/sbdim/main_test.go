@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveCombinations(t *testing.T) {
+	// (n, m) → C
+	cfg, err := solve(1<<20, 4000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.C()-915.6) > 1 {
+		t.Errorf("solve(n,m): C = %v, want ≈ 915.6", cfg.C())
+	}
+	// (n, eps) → m
+	cfg, err = solve(1e6, 0, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.M() < 25000 || cfg.M() > 35000 {
+		t.Errorf("solve(n,eps): m = %d, want ≈ 31.5k", cfg.M())
+	}
+	// (n, C) → m; C = 1+eps^-2 must agree with the eps form.
+	viaC, err := solve(1e6, 0, 0, 1+1/(0.01*0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaC.M() != cfg.M() {
+		t.Errorf("solve via C gives m = %d, via eps m = %d", viaC.M(), cfg.M())
+	}
+	// (m, C) → N
+	cfg, err = solve(0, 30000, 0, 9430)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() < 0.8e6 || cfg.N() > 1.3e6 {
+		t.Errorf("solve(m,C): N = %g, want ≈ 1e6", cfg.N())
+	}
+	// (m, eps) → N
+	cfg, err = solve(0, 30000, 0.0103, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() < 0.7e6 || cfg.N() > 1.5e6 {
+		t.Errorf("solve(m,eps): N = %g, want ≈ 1e6", cfg.N())
+	}
+}
+
+func TestSolveRejectsBadCombos(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      float64
+		m      int
+		eps, c float64
+	}{
+		{"nothing", 0, 0, 0, 0},
+		{"only n", 1e6, 0, 0, 0},
+		{"all three", 1e6, 4000, 0.01, 0},
+		{"eps and c", 1e6, 0, 0.01, 100},
+	}
+	for _, tc := range cases {
+		if _, err := solve(tc.n, tc.m, tc.eps, tc.c); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command sbench regenerates the tables and figures of "Distinct Counting
+// with a Self-Learning Bitmap" (Chen, Cao, Shepp & Nguyen, ICDE 2009).
+//
+// Usage:
+//
+//	sbench -list
+//	sbench -run fig2,table3            # quick regeneration (seconds each)
+//	sbench -run all -full              # paper-fidelity run (minutes)
+//	sbench -run fig4 -budget 50000000  # explicit per-cell update budget
+//
+// Each experiment prints its regenerated tables, an ASCII rendering of the
+// figure, and notes comparing the measured shape against the paper's
+// published numbers. See EXPERIMENTS.md for a recorded full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		full    = flag.Bool("full", false, "paper-fidelity run (cell budget 5e7, up to 1000 replicates)")
+		budget  = flag.Int("budget", 0, "override per-cell update budget (default 2e6; -full sets 5e7)")
+		seed    = flag.Uint64("seed", 1, "base PRNG seed")
+		workers = flag.Int("workers", 0, "worker goroutines (default GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "trace per-cell progress to stderr")
+		csvDir  = flag.String("csv", "", "also write each regenerated table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiment.IDs() {
+			fmt.Printf("  %-16s %s\n", id, experiment.Title(id))
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
+		}
+		return
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = experiment.IDs()
+	}
+
+	o := experiment.Options{Seed: *seed, Workers: *workers}
+	if *full {
+		o.CellBudget = 50_000_000
+	}
+	if *budget > 0 {
+		o.CellBudget = *budget
+	}
+	if *verbose {
+		o.Trace = os.Stderr
+	}
+
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		res, err := experiment.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %s: render: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+				os.Exit(1)
+			}
+			paths, err := res.WriteCSVs(func(name string) (io.WriteCloser, error) {
+				return os.Create(filepath.Join(*csvDir, name))
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbench: %s: csv: %v\n", id, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("(csv: %s)\n", strings.Join(paths, ", "))
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,277 @@
+// Package asciiplot renders the paper's figures as terminal graphics:
+// multi-series line charts (Figures 2, 4, 5, 6, 8), histograms (Figure 7)
+// and contour-style grids (Figure 3). The goal is a faithful visual shape
+// check, not publication graphics; the underlying numbers are always also
+// emitted as tables.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// defaultMarkers cycles through distinguishable glyphs for unnamed series.
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LineChart renders the series over a shared axis grid.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot area columns (default 72)
+	Height int  // plot area rows (default 20)
+	LogX   bool // log10-scale the x axis
+	LogY   bool // log10-scale the y axis
+	series []Series
+}
+
+// Add appends a series; X and Y must have equal, nonzero length.
+func (c *LineChart) Add(s Series) error {
+	if len(s.X) != len(s.Y) || len(s.X) == 0 {
+		return fmt.Errorf("asciiplot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+	}
+	if s.Marker == 0 {
+		s.Marker = defaultMarkers[len(c.series)%len(defaultMarkers)]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+func (c *LineChart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// transform applies the axis scaling, dropping non-plottable points.
+func (c *LineChart) transform() []Series {
+	out := make([]Series, 0, len(c.series))
+	for _, s := range c.series {
+		t := Series{Name: s.Name, Marker: s.Marker}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			t.X = append(t.X, x)
+			t.Y = append(t.Y, y)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Write renders the chart.
+func (c *LineChart) Write(w io.Writer) error {
+	width, height := c.dims()
+	ts := c.transform()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range ts {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("asciiplot: chart %q has no plottable points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range ts {
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = s.Marker
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", axisVal(maxY, c.LogY), strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", axisVal(minY, c.LogY), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-12.4g%*.4g\n", "", axisVal(minX, c.LogX), width-12, axisVal(maxX, c.LogX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for _, s := range ts {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", s.Marker, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string, or an error note.
+func (c *LineChart) String() string {
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		return fmt.Sprintf("(%v)", err)
+	}
+	return b.String()
+}
+
+// Histogram renders labeled counts as horizontal bars.
+type Histogram struct {
+	Title  string
+	Labels []string
+	Counts []int
+	Width  int // max bar width (default 60)
+}
+
+// Write renders the histogram; label and count slices must align.
+func (h *Histogram) Write(w io.Writer) error {
+	if len(h.Labels) != len(h.Counts) {
+		return fmt.Errorf("asciiplot: histogram has %d labels, %d counts", len(h.Labels), len(h.Counts))
+	}
+	width := h.Width
+	if width <= 0 {
+		width = 60
+	}
+	max := 0
+	labelW := 0
+	for i, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+		if len(h.Labels[i]) > labelW {
+			labelW = len(h.Labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "%-*s |%s %d\n", labelW, h.Labels[i], bar, c)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the histogram to a string, or an error note.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	if err := h.Write(&b); err != nil {
+		return fmt.Sprintf("(%v)", err)
+	}
+	return b.String()
+}
+
+// ContourGrid renders a function z(x, y) over a grid as digit cells, with
+// a marked level-crossing contour — the Figure 3 style plot. Cells show
+// the z value bucketed by Levels; cells where z crosses Mark are drawn
+// with '='.
+type ContourGrid struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Ys     []float64 // rendered bottom-to-top
+	Z      func(x, y float64) float64
+	Levels []float64 // ascending bucket boundaries
+	Mark   float64   // contour level to highlight
+}
+
+// Write renders the grid.
+func (g *ContourGrid) Write(w io.Writer) error {
+	if len(g.Xs) == 0 || len(g.Ys) == 0 || g.Z == nil {
+		return fmt.Errorf("asciiplot: contour grid incomplete")
+	}
+	levels := append([]float64(nil), g.Levels...)
+	sort.Float64s(levels)
+	cell := func(z float64) byte {
+		for i, l := range levels {
+			if z < l {
+				return byte('0' + i%10)
+			}
+		}
+		return byte('0' + len(levels)%10)
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	for row := len(g.Ys) - 1; row >= 0; row-- {
+		y := g.Ys[row]
+		fmt.Fprintf(&b, "%10.3g |", y)
+		var prev float64
+		for col, x := range g.Xs {
+			z := g.Z(x, y)
+			ch := cell(z)
+			if col > 0 && (prev-g.Mark)*(z-g.Mark) < 0 {
+				ch = '=' // crossing the marked level between columns
+			}
+			b.WriteByte(ch)
+			prev = z
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", len(g.Xs)))
+	fmt.Fprintf(&b, "%10s  %-10.3g%*.3g\n", "", g.Xs[0], len(g.Xs)-10, g.Xs[len(g.Xs)-1])
+	fmt.Fprintf(&b, "%10s  x: %s   y: %s   cells: index of first level boundary above z %v; '=' marks z = %g\n",
+		"", g.XLabel, g.YLabel, levels, g.Mark)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the grid to a string, or an error note.
+func (g *ContourGrid) String() string {
+	var b strings.Builder
+	if err := g.Write(&b); err != nil {
+		return fmt.Sprintf("(%v)", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	c := &LineChart{Title: "T", Width: 40, Height: 10}
+	if err := c.Add(Series{Name: "up", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "down", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("missing title or legend:\n%s", out)
+	}
+	// Two distinct markers must appear.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestLineChartLogAxes(t *testing.T) {
+	c := &LineChart{LogX: true, LogY: true, Width: 30, Height: 8}
+	// Include a zero point which must be dropped, not crash.
+	if err := c.Add(Series{Name: "s", X: []float64{0, 10, 100, 1000}, Y: []float64{0, 1, 10, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if strings.Contains(out, "(") {
+		t.Errorf("unexpected render error: %s", out)
+	}
+	// Log axis labels should show the original values (10 and 1000).
+	if !strings.Contains(out, "1000") {
+		t.Errorf("axis labels wrong:\n%s", out)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	c := &LineChart{}
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{}}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := &LineChart{}
+	var b strings.Builder
+	if err := empty.Write(&b); err == nil {
+		t.Error("empty chart rendered without error")
+	}
+	// A chart whose only points are unplottable under log must error.
+	neg := &LineChart{LogY: true}
+	_ = neg.Add(Series{Name: "n", X: []float64{1}, Y: []float64{-5}})
+	if err := neg.Write(&b); err == nil {
+		t.Error("all-dropped chart rendered without error")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := &LineChart{Width: 20, Height: 5}
+	_ = c.Add(Series{Name: "flat", X: []float64{1, 2}, Y: []float64{7, 7}})
+	if out := c.String(); strings.Contains(out, "(") {
+		t.Errorf("flat series failed: %s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := &Histogram{
+		Title:  "H",
+		Labels: []string{"2^4", "2^5", "2^6"},
+		Counts: []int{1, 4, 2},
+		Width:  8,
+	}
+	out := h.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Longest bar belongs to count 4 and has the full width.
+	if !strings.Contains(lines[2], strings.Repeat("#", 8)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	bad := &Histogram{Labels: []string{"a"}, Counts: []int{1, 2}}
+	var b strings.Builder
+	if err := bad.Write(&b); err == nil {
+		t.Error("mismatched histogram accepted")
+	}
+	zero := &Histogram{Labels: []string{"a"}, Counts: []int{0}}
+	if out := zero.String(); strings.Contains(out, "(") {
+		t.Errorf("zero-count histogram failed: %s", out)
+	}
+}
+
+func TestContourGrid(t *testing.T) {
+	g := &ContourGrid{
+		Title:  "ratio",
+		Xs:     []float64{1, 2, 3, 4},
+		Ys:     []float64{1, 2},
+		Z:      func(x, y float64) float64 { return x * y },
+		Levels: []float64{2, 6},
+		Mark:   2,
+	}
+	out := g.String()
+	if !strings.Contains(out, "ratio") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	// The z=2 crossing must be marked somewhere.
+	if !strings.ContainsRune(out, '=') {
+		t.Errorf("contour crossing not marked:\n%s", out)
+	}
+	incomplete := &ContourGrid{}
+	var b strings.Builder
+	if err := incomplete.Write(&b); err == nil {
+		t.Error("incomplete grid accepted")
+	}
+}

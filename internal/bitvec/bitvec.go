@@ -1,0 +1,229 @@
+// Package bitvec implements the packed bit vectors underlying every bitmap
+// sketch in this repository (basic bitmap, linear counting, virtual bitmap,
+// multiresolution bitmap, and the S-bitmap itself).
+//
+// A Vector is a fixed-length sequence of bits stored 64 per word. Besides
+// get/set it provides the operations the sketches need: a maintained
+// population count, rank queries, union/intersection for mergeable sketches,
+// and a compact binary serialization.
+package bitvec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New for a sized one.
+type Vector struct {
+	words []uint64
+	n     int // length in bits
+	ones  int // maintained population count
+}
+
+// New returns a vector of n zero bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the number of set bits. It is maintained incrementally and
+// costs O(1).
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros returns the number of clear bits.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i and reports whether the bit was previously clear (i.e.
+// whether the vector changed). It panics if i is out of range.
+func (v *Vector) Set(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	w := &v.words[i>>6]
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	v.ones++
+	return true
+}
+
+// Clear clears bit i and reports whether the bit was previously set.
+func (v *Vector) Clear(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	w := &v.words[i>>6]
+	if *w&mask == 0 {
+		return false
+	}
+	*w &^= mask
+	v.ones--
+	return true
+}
+
+// Reset clears every bit.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	v.ones = 0
+}
+
+// Rank returns the number of set bits in [0, i). Rank(Len()) == Ones().
+func (v *Vector) Rank(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: rank index %d out of range [0,%d]", i, v.n))
+	}
+	full := i >> 6
+	count := 0
+	for _, w := range v.words[:full] {
+		count += bits.OnesCount64(w)
+	}
+	if rem := uint(i) & 63; rem != 0 {
+		count += bits.OnesCount64(v.words[full] & (1<<rem - 1))
+	}
+	return count
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (v *Vector) CountRange(lo, hi int) int {
+	if lo > hi {
+		panic("bitvec: CountRange with lo > hi")
+	}
+	return v.Rank(hi) - v.Rank(lo)
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{words: make([]uint64, len(v.words)), n: v.n, ones: v.ones}
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith ORs o into v. The vectors must have equal length.
+func (v *Vector) UnionWith(o *Vector) error {
+	if v.n != o.n {
+		return fmt.Errorf("bitvec: union of unequal lengths %d and %d", v.n, o.n)
+	}
+	ones := 0
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+		ones += bits.OnesCount64(v.words[i])
+	}
+	v.ones = ones
+	return nil
+}
+
+// IntersectWith ANDs o into v. The vectors must have equal length.
+func (v *Vector) IntersectWith(o *Vector) error {
+	if v.n != o.n {
+		return fmt.Errorf("bitvec: intersection of unequal lengths %d and %d", v.n, o.n)
+	}
+	ones := 0
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+		ones += bits.OnesCount64(v.words[i])
+	}
+	v.ones = ones
+	return nil
+}
+
+// String renders short vectors as a 0/1 string (LSB first) and summarizes
+// long ones.
+func (v *Vector) String() string {
+	if v.n <= 128 {
+		buf := make([]byte, v.n)
+		for i := 0; i < v.n; i++ {
+			if v.Get(i) {
+				buf[i] = '1'
+			} else {
+				buf[i] = '0'
+			}
+		}
+		return string(buf)
+	}
+	return fmt.Sprintf("bitvec(len=%d, ones=%d)", v.n, v.ones)
+}
+
+// marshalMagic guards serialized vectors against format drift.
+const marshalMagic = uint32(0xb17c0de1)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 12+8*len(v.words))
+	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.n))
+	for _, w := range v.words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return errors.New("bitvec: truncated header")
+	}
+	if binary.LittleEndian.Uint32(data) != marshalMagic {
+		return errors.New("bitvec: bad magic")
+	}
+	n := binary.LittleEndian.Uint64(data[4:])
+	if n > 1<<40 {
+		return fmt.Errorf("bitvec: implausible length %d", n)
+	}
+	nw := (int(n) + 63) / 64
+	if len(data) != 12+8*nw {
+		return fmt.Errorf("bitvec: body length %d, want %d", len(data)-12, 8*nw)
+	}
+	words := make([]uint64, nw)
+	ones := 0
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[12+8*i:])
+		ones += bits.OnesCount64(words[i])
+	}
+	// Reject set bits beyond the declared length (would corrupt Ones).
+	if rem := n & 63; rem != 0 && nw > 0 {
+		if words[nw-1]>>(rem) != 0 {
+			return errors.New("bitvec: set bits beyond declared length")
+		}
+	}
+	v.words, v.n, v.ones = words, int(n), ones
+	return nil
+}
+
+// SizeBits returns the memory footprint of the bit storage itself, in bits.
+// This is the quantity the paper's memory accounting uses (it excludes Go
+// object headers, as the paper excludes hash seeds).
+func (v *Vector) SizeBits() int { return v.n }

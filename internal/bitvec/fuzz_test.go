@@ -1,0 +1,47 @@
+package bitvec
+
+import "testing"
+
+// FuzzUnmarshalBinary: arbitrary bytes must never panic, and an accepted
+// vector must be internally consistent (maintained popcount equal to a
+// recount).
+func FuzzUnmarshalBinary(f *testing.F) {
+	v := New(130)
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	blob, err := v.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{0xe1, 0x0d, 0x7c, 0xb1}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Vector
+		if err := w.UnmarshalBinary(data); err != nil {
+			return
+		}
+		count := 0
+		for i := 0; i < w.Len(); i++ {
+			if w.Get(i) {
+				count++
+			}
+		}
+		if count != w.Ones() {
+			t.Fatalf("maintained ones %d != recount %d", w.Ones(), count)
+		}
+		// Round trip must be stable.
+		out, err := w.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var z Vector
+		if err := z.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal of own output failed: %v", err)
+		}
+		if !z.Equal(&w) {
+			t.Fatal("round trip changed contents")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewConfigRates builds a Config from an explicit, caller-supplied rate
+// schedule p[0..m-1] (p[k-1] = p_k). The estimator table is derived from
+// Lemma 1 regardless of whether the rates follow the Theorem 2 rule:
+// t_b = Σ_{k≤b} 1/q_k with q_k = (1−(k−1)/m)·p_k, and no truncation is
+// applied (kMax = m, N = t_m).
+//
+// This constructor exists for the ablation experiments: it lets the
+// harness run the S-bitmap machinery under non-optimal schedules (pure
+// geometric rates, rates without the occupancy correction, untruncated
+// tables) and show how each departure breaks the scale-invariance the
+// dimensioning rule buys. Production users should prefer NewConfigMN /
+// NewConfigNE.
+func NewConfigRates(m int, p []float64) (*Config, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("core: bitmap size m = %d too small", m)
+	}
+	if len(p) != m {
+		return nil, fmt.Errorf("core: rate schedule has %d entries, want m = %d", len(p), m)
+	}
+	for k, pk := range p {
+		if pk <= 0 || pk > 1 {
+			return nil, fmt.Errorf("core: rate p_%d = %g outside (0, 1]", k+1, pk)
+		}
+		if k > 0 && pk > p[k-1]+1e-15 {
+			return nil, fmt.Errorf("core: rate schedule not monotone at k = %d (%g > %g); monotonicity is required for duplicate filtering (Lemma 1)", k+1, pk, p[k-1])
+		}
+	}
+	cfg := &Config{m: m, kMax: m}
+	cfg.p = append([]float64(nil), p...)
+	cfg.t = make([]float64, m+1)
+	sum := 0.0
+	for k := 1; k <= m; k++ {
+		q := (1 - float64(k-1)/float64(m)) * cfg.p[k-1]
+		sum += 1 / q
+		cfg.t[k] = sum
+	}
+	cfg.n = cfg.t[m]
+	// Effective C is not constant under arbitrary rates; report the value
+	// implied by the first step so Epsilon remains meaningful as a rough
+	// scale, and flag the config as custom via r = 0.
+	cfg.c = math.Max(2+1e-9, 1/math.Max(1e-12, 1-cfg.p[0]))
+	cfg.r = 0
+	return cfg, nil
+}
+
+// GeometricRates returns the naive Morris-style schedule p_k = ρ^k with ρ
+// chosen by bisection so that the schedule's reach t_m equals n: the
+// "obvious" adaptive-sampling bitmap an implementer might build without
+// the paper's Theorem 2 analysis. Used by the ablation_rates experiment.
+func GeometricRates(m int, n float64) ([]float64, error) {
+	if m < 2 || n < 1 {
+		return nil, fmt.Errorf("core: invalid geometric schedule m = %d, n = %g", m, n)
+	}
+	reach := func(rho float64) float64 {
+		sum := 0.0
+		pk := 1.0
+		for k := 1; k <= m; k++ {
+			pk *= rho
+			q := (1 - float64(k-1)/float64(m)) * pk
+			sum += 1 / q
+		}
+		return sum
+	}
+	// reach is decreasing in rho? Larger rho → larger p_k → smaller 1/q →
+	// smaller reach. So bisect with reach(lo) > n > reach(hi) for lo < hi.
+	lo, hi := 1e-6, 1-1e-12
+	if reach(hi) > n {
+		return nil, fmt.Errorf("core: %d buckets cannot avoid overshooting n = %g even at rho → 1", m, n)
+	}
+	if reach(lo) < n {
+		return nil, fmt.Errorf("core: n = %g unreachable with %d buckets at any geometric rate", n, m)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if reach(mid) > n {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	rho := (lo + hi) / 2
+	p := make([]float64, m)
+	pk := 1.0
+	for k := range p {
+		pk *= rho
+		p[k] = pk
+	}
+	return p, nil
+}
+
+// UncorrectedRates returns the Theorem 2 schedule WITHOUT the occupancy
+// correction m/(m+1−k): p_k = (1+1/C)·r^k directly. The resulting q_k
+// decay faster than the dimensioning rule wants as the bitmap fills, so
+// the relative error grows with n. Used by the ablation_rates experiment.
+func UncorrectedRates(m int, c float64) ([]float64, error) {
+	if m < 2 || c <= minC {
+		return nil, fmt.Errorf("core: invalid uncorrected schedule m = %d, C = %g", m, c)
+	}
+	r := 1 - 2/(c+1)
+	p := make([]float64, m)
+	scale := 1 + 1/c
+	logR := math.Log(r)
+	for k := 1; k <= m; k++ {
+		pk := scale * math.Exp(float64(k)*logR)
+		if pk > 1 {
+			pk = 1
+		}
+		p[k-1] = pk
+	}
+	return p, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNewConfigRatesMatchesLemma1(t *testing.T) {
+	// A custom schedule's estimator table must be the Lemma 1 cumulative
+	// sum; check against the Theorem 2 closed form by feeding the optimal
+	// rates back in.
+	opt, err := NewConfigMN(400, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, opt.M())
+	for k := 1; k <= opt.M(); k++ {
+		p[k-1] = opt.P(k)
+	}
+	custom, err := NewConfigRates(opt.M(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to the truncation point the tables must agree exactly.
+	for _, b := range []int{1, 10, 100, opt.KMax()} {
+		if rel := math.Abs(custom.T(b)-opt.T(b)) / opt.T(b); rel > 1e-9 {
+			t.Errorf("t_%d: custom %g vs optimal %g", b, custom.T(b), opt.T(b))
+		}
+	}
+	// Beyond it the custom config keeps growing (no truncation).
+	if custom.T(custom.M()) <= opt.T(opt.M()) {
+		t.Error("untruncated table should exceed the truncated one at b=m")
+	}
+	if custom.KMax() != custom.M() {
+		t.Errorf("custom KMax = %d, want m", custom.KMax())
+	}
+}
+
+func TestNewConfigRatesValidation(t *testing.T) {
+	if _, err := NewConfigRates(1, []float64{1}); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := NewConfigRates(3, []float64{0.5, 0.4}); err == nil {
+		t.Error("wrong-length schedule accepted")
+	}
+	if _, err := NewConfigRates(2, []float64{0.5, 0.6}); err == nil {
+		t.Error("non-monotone schedule accepted")
+	}
+	if _, err := NewConfigRates(2, []float64{0.5, 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewConfigRates(2, []float64{1.5, 0.5}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestGeometricRatesReach(t *testing.T) {
+	const m = 300
+	const n = 5e4
+	p, err := GeometricRates(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfigRates(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule is built so t_m = n.
+	if rel := math.Abs(cfg.T(m)-n) / n; rel > 1e-6 {
+		t.Errorf("geometric reach t_m = %g, want %g", cfg.T(m), n)
+	}
+	// Monotone decreasing by construction.
+	for k := 1; k < m; k++ {
+		if p[k] > p[k-1] {
+			t.Fatalf("geometric schedule not monotone at %d", k)
+		}
+	}
+	if _, err := GeometricRates(1, 100); err == nil {
+		t.Error("m=1 accepted")
+	}
+	// Huge n is reachable (tiny rho): must dimension without error.
+	if _, err := GeometricRates(100, 1e15); err != nil {
+		t.Errorf("large n should be reachable: %v", err)
+	}
+	if _, err := GeometricRates(1000, 1); err == nil {
+		t.Error("n below minimum reach accepted")
+	}
+}
+
+func TestGeometricRatesNotScaleInvariant(t *testing.T) {
+	// The substantive ablation claim, verified statistically: under the
+	// naive geometric schedule the RRMSE drifts across scales by a factor
+	// ≥ 2, whereas the Theorem 2 schedule holds flat (other tests).
+	const m = 300
+	const n = 5e4
+	p, err := GeometricRates(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfigRates(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrmse := func(card int) float64 {
+		var sum stats.ErrorSummary
+		for rep := 0; rep < 150; rep++ {
+			s := NewSketch(cfg, uint64(rep)+9)
+			base := uint64(rep) << 34
+			for i := 0; i < card; i++ {
+				s.AddUint64(base + uint64(i))
+			}
+			sum.AddEstimate(s.Estimate(), float64(card))
+		}
+		return sum.RRMSE()
+	}
+	small, large := rrmse(200), rrmse(30000)
+	lo, hi := small, large
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi/lo < 1.8 {
+		t.Errorf("geometric schedule RRMSE %0.4f vs %0.4f — expected ≥1.8x drift across scales", small, large)
+	}
+}
+
+func TestUncorrectedRates(t *testing.T) {
+	p, err := UncorrectedRates(200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 200 {
+		t.Fatalf("schedule length %d", len(p))
+	}
+	for k := 1; k < len(p); k++ {
+		if p[k] > p[k-1] {
+			t.Fatalf("uncorrected schedule not monotone at %d", k)
+		}
+	}
+	// Must be usable as a config.
+	if _, err := NewConfigRates(200, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UncorrectedRates(1, 100); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := UncorrectedRates(100, 1); err == nil {
+		t.Error("C=1 accepted")
+	}
+}
+
+func TestChainWorksOnCustomRates(t *testing.T) {
+	// The exact Markov machinery must apply to custom schedules too: the
+	// estimator built from Lemma 1 is unbiased for ANY monotone schedule
+	// (the martingale argument never uses the dimensioning rule).
+	p, err := GeometricRates(150, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfigRates(150, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	for i := 0; i < 1000; i++ {
+		chain.Step()
+	}
+	mean, _ := chain.EstimateMoments()
+	if rel := math.Abs(mean-1000) / 1000; rel > 1e-6 {
+		t.Errorf("custom-schedule estimator biased: E n̂ = %.4f at n=1000", mean)
+	}
+}

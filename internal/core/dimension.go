@@ -1,0 +1,225 @@
+// Package core implements the paper's primary contribution: the S-bitmap
+// sketch (Algorithm 2), its dimensioning rule (Theorem 2 and Equation 7),
+// the estimator n̂ = t_B (Equation 2) with the truncation rule (Equation 8),
+// and the exact non-stationary Markov-chain model of Theorem 1 used to
+// verify unbiasedness and scale-invariance without Monte-Carlo noise.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds a fully dimensioned S-bitmap parameterization. A Config is
+// immutable after construction and may be shared by any number of Sketch
+// instances (the rate and estimator tables are read-only).
+//
+// The three primary quantities are tied together by Equation (7) of the
+// paper,
+//
+//	m = C/2 + ln(1 + 2N/C) / ln(1 + 2/(C−1)),
+//
+// where m is the bitmap size in bits, N the largest cardinality to be
+// estimated, and C the accuracy parameter giving theoretical
+// RRMSE = (C−1)^(−1/2). Construct a Config from any two via NewConfigMN,
+// NewConfigNE, or NewConfigMC.
+type Config struct {
+	m    int     // bitmap size in bits
+	n    float64 // cardinality upper bound N
+	c    float64 // accuracy parameter C
+	r    float64 // geometric ratio r = 1 − 2/(C+1)
+	kMax int     // truncation index k* = m − C/2 (Section 5.1 remark)
+
+	// p[k-1] is the sampling rate p_k used when the bitmap holds k−1 ones,
+	// k = 1..m; constant at p[kMax-1] beyond the truncation point so the
+	// monotonicity condition of Lemma 1 holds.
+	p []float64
+	// t[b] = t_b = E T_b, the estimate emitted when B = b; t[0] = 0.
+	t []float64
+}
+
+// minC is the smallest admissible C. C must exceed 1 for the RRMSE
+// (C−1)^(−1/2) to be finite; we additionally require C > 2 so the
+// configured error stays below 100% — any looser configuration is
+// operationally meaningless and almost certainly a sizing mistake.
+const minC = 2
+
+// eq7 evaluates the right-hand side of Equation (7) for given C and N.
+func eq7(c, n float64) float64 {
+	return c/2 + math.Log(1+2*n/c)/math.Log(1+2/(c-1))
+}
+
+// NewConfigMN dimensions an S-bitmap from a memory budget of m bits and a
+// cardinality upper bound N, solving Equation (7) for C by bisection.
+// This is the constructor used throughout the paper's experiments
+// ("m = 4000 bits and N = 2^20 gives C ≈ 915.6").
+func NewConfigMN(m int, n float64) (*Config, error) {
+	if m < 8 {
+		return nil, fmt.Errorf("core: bitmap size m = %d too small (need ≥ 8 bits)", m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: cardinality bound N = %g must be ≥ 1", n)
+	}
+	// eq7(C) is increasing in C over the admissible range: the C/2 term
+	// dominates for large C and the log-ratio term shrinks as C → 1+.
+	// Bracket the root and bisect.
+	lo := float64(minC)
+	if eq7(lo, n) > float64(m) {
+		return nil, fmt.Errorf("core: m = %d bits cannot reach N = %g with RRMSE below 100%% (increase m)", m, n)
+	}
+	hi := 4.0
+	for eq7(hi, n) < float64(m) {
+		hi *= 2
+		if hi > 1e18 {
+			return nil, fmt.Errorf("core: failed to bracket C for m = %d, N = %g", m, n)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if eq7(mid, n) < float64(m) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return newConfig(m, n, (lo+hi)/2)
+}
+
+// NewConfigNE dimensions an S-bitmap for cardinalities up to N with target
+// RRMSE epsilon, returning the smallest sufficient bitmap. It implements
+// the paper's "to achieve errors no more than 1% for all cardinalities up
+// to 10^6 we need only about 30 kilobits" sizing: C = 1 + ε^(−2),
+// m = ⌈Equation (7)⌉.
+func NewConfigNE(n, epsilon float64) (*Config, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("core: target RRMSE %g outside (0, 1)", epsilon)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: cardinality bound N = %g must be ≥ 1", n)
+	}
+	c := 1 + 1/(epsilon*epsilon)
+	m := int(math.Ceil(eq7(c, n)))
+	return newConfig(m, n, c)
+}
+
+// NewConfigMC dimensions an S-bitmap from a memory budget m and accuracy
+// parameter C, deriving the reachable upper bound N from Equation (6):
+// N = C/2 · (r^{−(m−C/2)} − 1).
+func NewConfigMC(m int, c float64) (*Config, error) {
+	if c <= minC {
+		return nil, fmt.Errorf("core: C = %g must exceed 1", c)
+	}
+	r := 1 - 2/(c+1)
+	k := float64(m) - c/2
+	if k < 1 {
+		return nil, fmt.Errorf("core: m = %d bits leaves no usable buckets at C = %g", m, c)
+	}
+	n := c / 2 * (math.Pow(r, -k) - 1)
+	return newConfig(m, n, c)
+}
+
+// MemoryForNE returns the bitmap size in bits that Equation (7) prescribes
+// for bound N and RRMSE epsilon, without building the tables. It is the
+// S-bitmap column of Table 2 and the denominator of Figure 3.
+func MemoryForNE(n, epsilon float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("core: target RRMSE %g outside (0, 1)", epsilon)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("core: cardinality bound N = %g must be ≥ 1", n)
+	}
+	c := 1 + 1/(epsilon*epsilon)
+	return int(math.Ceil(eq7(c, n))), nil
+}
+
+// newConfig builds the rate and estimator tables for validated (m, N, C).
+func newConfig(m int, n, c float64) (*Config, error) {
+	if c <= minC {
+		return nil, fmt.Errorf("core: solved C = %g is not > 1; parameters infeasible", c)
+	}
+	r := 1 - 2/(c+1)
+	kMax := int(math.Floor(float64(m) - c/2))
+	if kMax < 1 {
+		return nil, fmt.Errorf("core: truncation point m − C/2 = %g leaves no buckets (m = %d, C = %g)", float64(m)-c/2, m, c)
+	}
+	if kMax > m {
+		kMax = m
+	}
+	cfg := &Config{m: m, n: n, c: c, r: r, kMax: kMax}
+
+	// q_k = (1 + 1/C) r^k; p_k = q_k · m/(m+1−k), held constant for
+	// k > k* per the Section 5.1 remark so Lemma 1's monotonicity holds.
+	cfg.p = make([]float64, m)
+	logR := math.Log(r)
+	scale := 1 + 1/c
+	for k := 1; k <= m; k++ {
+		kk := k
+		if kk > kMax {
+			kk = kMax
+		}
+		q := scale * math.Exp(float64(kk)*logR)
+		p := q * float64(m) / float64(m+1-kk)
+		if p > 1 {
+			p = 1
+		}
+		cfg.p[k-1] = p
+	}
+
+	// t_b = C/2 (r^{−b} − 1) in closed form (proof of Theorem 2).
+	cfg.t = make([]float64, m+1)
+	for b := 1; b <= m; b++ {
+		bb := b
+		if bb > kMax {
+			bb = kMax
+		}
+		cfg.t[b] = c / 2 * (math.Exp(-float64(bb)*logR) - 1)
+	}
+	return cfg, nil
+}
+
+// M returns the bitmap size in bits.
+func (c *Config) M() int { return c.m }
+
+// N returns the cardinality upper bound the configuration supports.
+func (c *Config) N() float64 { return c.n }
+
+// C returns the accuracy parameter.
+func (c *Config) C() float64 { return c.c }
+
+// R returns the geometric ratio r = 1 − 2/(C+1).
+func (c *Config) R() float64 { return c.r }
+
+// Epsilon returns the theoretical scale-invariant RRMSE (C−1)^(−1/2)
+// (Theorem 3).
+func (c *Config) Epsilon() float64 { return 1 / math.Sqrt(c.c-1) }
+
+// KMax returns the truncation index k* = ⌊m − C/2⌋; the estimator output is
+// B = min(L, k*) per Equation (8).
+func (c *Config) KMax() int { return c.kMax }
+
+// P returns the sampling rate p_k applied when the bitmap currently holds
+// k−1 ones, for k in [1, m].
+func (c *Config) P(k int) float64 {
+	if k < 1 || k > c.m {
+		panic(fmt.Sprintf("core: rate index %d outside [1, %d]", k, c.m))
+	}
+	return c.p[k-1]
+}
+
+// Q returns q_k = (1 − (k−1)/m)·p_k, the probability that a NEW distinct
+// item advances the fill level from k−1 to k (Theorem 1).
+func (c *Config) Q(k int) float64 {
+	if k < 1 || k > c.m {
+		panic(fmt.Sprintf("core: rate index %d outside [1, %d]", k, c.m))
+	}
+	return (1 - float64(k-1)/float64(c.m)) * c.p[k-1]
+}
+
+// T returns the estimator value t_b emitted when b buckets are filled;
+// T(0) = 0 and T is truncated at b = k*.
+func (c *Config) T(b int) float64 {
+	if b < 0 || b > c.m {
+		panic(fmt.Sprintf("core: estimator index %d outside [0, %d]", b, c.m))
+	}
+	return c.t[b]
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// paperFixtures are (m, N, C or ε) triples quoted in the paper's text; the
+// dimensioning solver must reproduce them.
+func TestPaperDimensioningFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		m     int
+		n     float64
+		wantC float64 // 0 if only ε is quoted
+		wantE float64 // 0 if only C is quoted
+		tolC  float64
+		tolE  float64
+	}{
+		{"fig2 m=4000", 4000, 1 << 20, 915.6, 0.033, 1.0, 0.001},
+		{"fig2 m=1800", 1800, 1 << 20, 373.7, 0.052, 0.5, 0.001},
+		{"slammer m=8000", 8000, 1e6, 2026.55, 0.022, 2.5, 0.001},
+		{"intro m=30000", 30000, 1e6, 0, 0.0103, 0, 0.0007},
+		{"backbone m=7200", 7200, 1.5e6, 0, 0.024, 0, 0.001},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := NewConfigMN(c.m, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.wantC > 0 && math.Abs(cfg.C()-c.wantC) > c.tolC {
+				t.Errorf("C = %.2f, want %.2f±%.2f", cfg.C(), c.wantC, c.tolC)
+			}
+			if c.wantE > 0 && math.Abs(cfg.Epsilon()-c.wantE) > c.tolE {
+				t.Errorf("epsilon = %.4f, want %.4f±%.4f", cfg.Epsilon(), c.wantE, c.tolE)
+			}
+			if cfg.M() != c.m {
+				t.Errorf("M() = %d, want %d", cfg.M(), c.m)
+			}
+			if cfg.N() != c.n {
+				t.Errorf("N() = %g, want %g", cfg.N(), c.n)
+			}
+		})
+	}
+}
+
+func TestEquation7SelfConsistency(t *testing.T) {
+	// Solving C from (m, N) and plugging back into Eq. (7) must recover m.
+	for _, m := range []int{100, 800, 2700, 6720, 40000} {
+		for _, n := range []float64{1e3, 1e4, 1e6, 1e7} {
+			cfg, err := NewConfigMN(m, n)
+			if err != nil {
+				t.Fatalf("m=%d N=%g: %v", m, n, err)
+			}
+			back := eq7(cfg.C(), n)
+			if math.Abs(back-float64(m)) > 0.01 {
+				t.Errorf("m=%d N=%g: eq7(C) = %.4f, want %d", m, n, back, m)
+			}
+		}
+	}
+}
+
+func TestNewConfigNERoundTrip(t *testing.T) {
+	// NewConfigNE must yield RRMSE ≤ ε and memory matching MemoryForNE,
+	// and the approximation m ≈ ε⁻²/2·(1 + ln(1+2Nε²)) from Section 5.1
+	// should agree within a few percent.
+	for _, eps := range []float64{0.01, 0.03, 0.09} {
+		for _, n := range []float64{1e3, 1e5, 1e7} {
+			cfg, err := NewConfigNE(n, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Epsilon() > eps*1.0001 {
+				t.Errorf("NE(%g,%g): epsilon %g exceeds target", n, eps, cfg.Epsilon())
+			}
+			m, err := MemoryForNE(n, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != cfg.M() {
+				t.Errorf("MemoryForNE = %d, config M = %d", m, cfg.M())
+			}
+			approx := 0.5 / (eps * eps) * (1 + math.Log(1+2*n*eps*eps))
+			if rel := math.Abs(float64(m)-approx) / approx; rel > 0.05 {
+				t.Errorf("NE(%g,%g): m = %d vs §5.1 approximation %.0f (rel %.3f)", n, eps, m, approx, rel)
+			}
+		}
+	}
+}
+
+func TestNewConfigMCRecoversN(t *testing.T) {
+	// MC(m, C) derives N from Eq. (6); re-solving MN(m, N) must recover C.
+	for _, m := range []int{500, 4000} {
+		for _, c := range []float64{50, 915.6} {
+			cfg, err := NewConfigMC(m, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := NewConfigMN(m, cfg.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back.C()-c)/c > 0.01 {
+				t.Errorf("MC(%d,%g) → N=%g → MN gives C=%g", m, c, cfg.N(), back.C())
+			}
+		}
+	}
+}
+
+func TestTable2SBitmapColumn(t *testing.T) {
+	// Table 2's S-bitmap column (unit: 100 bits). The paper's entries were
+	// computed from Eq. (7); allow 2% slack for their rounding.
+	want := map[[2]float64]float64{ // {N, eps} → memory/100
+		{1e3, 0.01}: 59.1, {1e4, 0.01}: 104.9, {1e5, 0.01}: 202.2,
+		{1e6, 0.01}: 315.2, {1e7, 0.01}: 430.1,
+		{1e3, 0.03}: 11.3, {1e4, 0.03}: 21.9, {1e5, 0.03}: 34.5,
+		{1e6, 0.03}: 47.2, {1e7, 0.03}: 60.0,
+		{1e3, 0.09}: 2.4, {1e4, 0.09}: 3.8, {1e5, 0.09}: 5.2,
+		{1e6, 0.09}: 6.6, {1e7, 0.09}: 8.1,
+	}
+	for key, cell := range want {
+		m, err := MemoryForNE(key[0], key[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m) / 100
+		if math.Abs(got-cell)/cell > 0.02 {
+			t.Errorf("Table 2 S-bitmap(N=%g, eps=%g) = %.1f, paper %.1f", key[0], key[1], got, cell)
+		}
+	}
+}
+
+func TestRateMonotonicity(t *testing.T) {
+	cfg, err := NewConfigMN(2000, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= cfg.M(); k++ {
+		p := cfg.P(k)
+		if p <= 0 || p > 1 {
+			t.Fatalf("p_%d = %g outside (0,1]", k, p)
+		}
+		if k > 1 && p > cfg.P(k-1)+1e-15 {
+			t.Fatalf("sampling rates not monotone: p_%d = %g > p_%d = %g", k, p, k-1, cfg.P(k-1))
+		}
+	}
+	// Beyond kMax the rates are pinned (Section 5.1 remark).
+	if cfg.P(cfg.KMax()) != cfg.P(cfg.M()) {
+		t.Error("rates beyond kMax not pinned to p_{k*}")
+	}
+}
+
+func TestQMatchesTheorem2Form(t *testing.T) {
+	// For k ≤ k*, q_k must equal (1+1/C)·r^k exactly (up to float error).
+	cfg, err := NewConfigMN(3000, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 + 1/cfg.C()
+	for _, k := range []int{1, 2, 10, 100, 1000, cfg.KMax()} {
+		want := scale * math.Pow(cfg.R(), float64(k))
+		got := cfg.Q(k)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("q_%d = %g, want (1+1/C)r^k = %g", k, got, want)
+		}
+	}
+}
+
+func TestEstimatorTable(t *testing.T) {
+	cfg, err := NewConfigMN(2500, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.T(0) != 0 {
+		t.Errorf("t_0 = %g, want 0", cfg.T(0))
+	}
+	// t_b must equal the cumulative sum of 1/q_k (Lemma 1) and be strictly
+	// increasing up to k*.
+	sum := 0.0
+	for b := 1; b <= cfg.KMax(); b++ {
+		sum += 1 / cfg.Q(b)
+		if rel := math.Abs(cfg.T(b)-sum) / sum; rel > 1e-6 {
+			t.Fatalf("t_%d = %g, cumulative 1/q = %g (rel %g)", b, cfg.T(b), sum, rel)
+		}
+		if cfg.T(b) <= cfg.T(b-1) {
+			t.Fatalf("t not strictly increasing at b=%d", b)
+		}
+	}
+	// The truncation point estimates ≈ N (Equation 6, up to ⌊k*⌋ rounding:
+	// one fewer bucket shrinks t by a factor of r ≈ 1 − 2/C).
+	if ratio := cfg.T(cfg.KMax()) / cfg.N(); ratio < cfg.R()*0.999 || ratio > 1.001 {
+		t.Errorf("t_{k*} = %g vs N = %g (ratio %g outside [r, 1])", cfg.T(cfg.KMax()), cfg.N(), ratio)
+	}
+	// Beyond k* the table is pinned.
+	if cfg.T(cfg.M()) != cfg.T(cfg.KMax()) {
+		t.Error("estimator table not pinned beyond k*")
+	}
+}
+
+func TestFillTimeRelativeErrorConstant(t *testing.T) {
+	// Theorem 2 / Equation (4): sqrt(Var T_b)/E T_b ≡ C^(-1/2) for b ≤ k*.
+	cfg, err := NewConfigMN(1500, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(cfg.C())
+	for _, b := range []int{1, 2, 5, 50, 500, cfg.KMax()} {
+		got := cfg.RelFillTimeError(b)
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("Re(T_%d) = %g, want C^-1/2 = %g", b, got, want)
+		}
+	}
+}
+
+func TestFillTimeMomentsClosedForm(t *testing.T) {
+	// E T_b must match t_b and Var T_b must match C^{-1} t_b² (used in the
+	// proof of Theorem 2).
+	cfg, err := NewConfigMN(800, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 7, 77, cfg.KMax()} {
+		mean, variance := cfg.FillTimeMoments(b)
+		if math.Abs(mean-cfg.T(b))/cfg.T(b) > 1e-9 {
+			t.Errorf("E T_%d = %g, want t_b = %g", b, mean, cfg.T(b))
+		}
+		wantVar := cfg.T(b) * cfg.T(b) / cfg.C()
+		if math.Abs(variance-wantVar)/wantVar > 1e-6 {
+			t.Errorf("Var T_%d = %g, want t_b²/C = %g", b, variance, wantVar)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"m too small", func() error { _, err := NewConfigMN(4, 100); return err }},
+		{"bad N", func() error { _, err := NewConfigMN(100, 0); return err }},
+		{"m cannot reach N", func() error { _, err := NewConfigMN(8, 1e12); return err }},
+		{"eps zero", func() error { _, err := NewConfigNE(1e4, 0); return err }},
+		{"eps one", func() error { _, err := NewConfigNE(1e4, 1); return err }},
+		{"NE bad N", func() error { _, err := NewConfigNE(0, 0.01); return err }},
+		{"MC bad C", func() error { _, err := NewConfigMC(100, 1); return err }},
+		{"MC no buckets", func() error { _, err := NewConfigMC(10, 100); return err }},
+		{"MemoryForNE bad eps", func() error { _, err := MemoryForNE(1e4, 2); return err }},
+		{"MemoryForNE bad N", func() error { _, err := MemoryForNE(0.5, 0.01); return err }},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cfg, err := NewConfigMN(100, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []func(){
+		func() { cfg.P(0) },
+		func() { cfg.P(101) },
+		func() { cfg.Q(0) },
+		func() { cfg.T(-1) },
+		func() { cfg.T(101) },
+		func() { cfg.FillTimeMoments(101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalSketch hardens the deserialization path: arbitrary bytes
+// must produce an error or a usable sketch, never a panic or a sketch
+// with inconsistent internal state.
+func FuzzUnmarshalSketch(f *testing.F) {
+	cfg, err := NewConfigMN(200, 2000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := NewSketch(cfg, 1)
+	for i := uint64(0); i < 500; i++ {
+		valid.AddUint64(i)
+	}
+	blob, err := valid.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xab, 0x17, 0x5b}) // magic prefix only
+	long := append([]byte(nil), blob...)
+	long[20] ^= 0x40 // perturb C
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSketch(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed sketch must be internally consistent and
+		// usable without panicking.
+		if s.L() < 0 || s.L() > s.Config().M() {
+			t.Fatalf("inconsistent L = %d for m = %d", s.L(), s.Config().M())
+		}
+		est := s.Estimate()
+		if est < 0 {
+			t.Fatalf("negative estimate %g", est)
+		}
+		if _, err := s.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}
+
+// FuzzConfigMN hardens the dimensioning solver across its whole domain:
+// any (m, N) must either error cleanly or yield a self-consistent config.
+func FuzzConfigMN(f *testing.F) {
+	f.Add(4000, 1048576.0)
+	f.Add(8, 1.0)
+	f.Add(100, 1e12)
+	f.Add(1000000, 2.0)
+	f.Fuzz(func(t *testing.T, m int, n float64) {
+		if m > 1_000_000 {
+			m %= 1_000_000 // keep table allocation bounded
+		}
+		cfg, err := NewConfigMN(m, n)
+		if err != nil {
+			return
+		}
+		if cfg.Epsilon() <= 0 || cfg.Epsilon() >= 1 {
+			t.Fatalf("m=%d n=%g: epsilon %g out of range", m, n, cfg.Epsilon())
+		}
+		if cfg.KMax() < 1 || cfg.KMax() > cfg.M() {
+			t.Fatalf("m=%d n=%g: kMax %d out of range", m, n, cfg.KMax())
+		}
+		// Rates monotone, estimates increasing.
+		for k := 2; k <= cfg.M(); k++ {
+			if cfg.P(k) > cfg.P(k-1)+1e-15 {
+				t.Fatalf("m=%d n=%g: rates not monotone at k=%d", m, n, k)
+			}
+		}
+		if cfg.T(cfg.KMax()) <= 0 {
+			t.Fatalf("m=%d n=%g: non-positive reach", m, n)
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/uhash"
+)
+
+// Sketch is an S-bitmap: a bitmap of m bits filled by the adaptive sampling
+// process of Algorithm 2. One 128-bit hash is computed per item; the high
+// word selects the bucket (the paper's first c bits) and the low word is the
+// sampling fraction u (the paper's last d bits). An item that maps to an
+// occupied bucket is skipped outright, so processing duplicates costs one
+// hash and one bit probe.
+//
+// Sketch is not safe for concurrent use; wrap it in a mutex or shard by
+// stream if needed (the experiments shard).
+type Sketch struct {
+	cfg *Config
+	h   uhash.Hasher
+	v   *bitvec.Vector
+	l   int // number of ones, the paper's L
+
+	// thresholds[k] is the 64-bit scaled acceptance threshold for p_{k+1}:
+	// an item is sampled at fill level k iff u < thresholds[k] where u is
+	// the 64-bit sampling word. With dBits < 64, u is first truncated to
+	// its top dBits bits, reproducing the paper's finite-resolution
+	// "u·2^−d < p" test (d = 30 in the paper's implementation sketch).
+	thresholds []uint64
+	dBits      uint
+}
+
+// Option configures optional Sketch behavior.
+type Option func(*sketchOptions)
+
+type sketchOptions struct {
+	hasher uhash.Hasher
+	dBits  uint
+}
+
+// WithHasher selects the hash family (default: uhash.NewMixer(seed) chosen
+// by the constructor's seed argument).
+func WithHasher(h uhash.Hasher) Option {
+	return func(o *sketchOptions) { o.hasher = h }
+}
+
+// WithResolution limits the sampling fraction to d bits, 1 ≤ d ≤ 64,
+// matching the paper's Algorithm 2 where u is a d-bit integer. The default
+// (64) is effectively continuous; d = 30 reproduces the paper's suggested
+// implementation. Used by the ablation_d experiment.
+func WithResolution(d uint) Option {
+	return func(o *sketchOptions) { o.dBits = d }
+}
+
+// NewSketch returns an empty S-bitmap under cfg. The seed determines the
+// hash function; replicated experiments use distinct seeds.
+func NewSketch(cfg *Config, seed uint64, opts ...Option) *Sketch {
+	o := sketchOptions{dBits: 64}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.hasher == nil {
+		o.hasher = uhash.NewMixer(seed)
+	}
+	if o.dBits < 1 || o.dBits > 64 {
+		panic(fmt.Sprintf("core: sampling resolution d = %d outside [1, 64]", o.dBits))
+	}
+	s := &Sketch{
+		cfg:        cfg,
+		h:          o.hasher,
+		v:          bitvec.New(cfg.m),
+		thresholds: make([]uint64, cfg.m),
+		dBits:      o.dBits,
+	}
+	for k := 1; k <= cfg.m; k++ {
+		s.thresholds[k-1] = rateThreshold(cfg.p[k-1], o.dBits)
+	}
+	return s
+}
+
+// rateThreshold converts a sampling rate p ∈ (0, 1] to the 64-bit threshold
+// implementing "u·2^−d < p" on the top d bits of the sampling word: the
+// number of accepted d-bit values is ⌈p·2^d⌉ (strict inequality), shifted
+// back to the 64-bit domain.
+func rateThreshold(p float64, d uint) uint64 {
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	if p <= 0 {
+		return 0
+	}
+	scaled := math.Ceil(p * math.Pow(2, float64(d)))
+	max := math.Pow(2, float64(d))
+	if scaled >= max {
+		return math.MaxUint64
+	}
+	t := uint64(scaled)
+	if d < 64 {
+		return t << (64 - d)
+	}
+	return t
+}
+
+// Config returns the sketch's immutable configuration.
+func (s *Sketch) Config() *Config { return s.cfg }
+
+// Add offers an item to the sketch and reports whether the sketch state
+// changed (a bucket transitioned 0→1).
+func (s *Sketch) Add(item []byte) bool {
+	hi, lo := s.h.Sum128(item)
+	return s.insert(hi, lo)
+}
+
+// AddUint64 offers a 64-bit item; it is equivalent to Add of the item's
+// 8-byte little-endian encoding but allocation-free.
+func (s *Sketch) AddUint64(item uint64) bool {
+	hi, lo := s.h.Sum128Uint64(item)
+	return s.insert(hi, lo)
+}
+
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes.
+func (s *Sketch) AddString(item string) bool {
+	return s.Add([]byte(item))
+}
+
+// insert implements lines 3–9 of Algorithm 2 given the two hash words.
+func (s *Sketch) insert(bucketWord, sampleWord uint64) bool {
+	// Multiply-shift bucket selection: j = ⌊bucketWord · m / 2^64⌋ is
+	// uniform on [0, m) and works for any m, not only powers of two.
+	j, _ := bits.Mul64(bucketWord, uint64(s.cfg.m))
+	if s.v.Get(int(j)) {
+		return false // case 1 of Figure 1: occupied bucket, skip
+	}
+	if s.l >= s.cfg.m {
+		return false // bitmap full; cannot happen before kMax in practice
+	}
+	if sampleWord >= s.thresholds[s.l] {
+		return false // not sampled at rate p_{L+1}
+	}
+	s.v.Set(int(j))
+	s.l++
+	return true
+}
+
+// L returns the current number of 1-bits (the paper's L).
+func (s *Sketch) L() int { return s.l }
+
+// B returns the truncated output B = min(L, k*) of Equation (8).
+func (s *Sketch) B() int {
+	if s.l > s.cfg.kMax {
+		return s.cfg.kMax
+	}
+	return s.l
+}
+
+// Estimate returns the cardinality estimate n̂ = t_B (Equation 2).
+func (s *Sketch) Estimate() float64 { return s.cfg.t[s.B()] }
+
+// Saturated reports whether the sketch has reached its truncation point;
+// estimates at or beyond N are pinned to t_{k*} ≈ N.
+func (s *Sketch) Saturated() bool { return s.l >= s.cfg.kMax }
+
+// FillRatio returns L/m, the fraction of buckets set.
+func (s *Sketch) FillRatio() float64 { return float64(s.l) / float64(s.cfg.m) }
+
+// SizeBits returns the summary-statistic memory footprint in bits, the
+// quantity compared across algorithms in Section 6.2 (hash seeds excluded,
+// as in the paper).
+func (s *Sketch) SizeBits() int { return s.cfg.m }
+
+// Reset clears the sketch for reuse under the same configuration and hash.
+func (s *Sketch) Reset() {
+	s.v.Reset()
+	s.l = 0
+}
+
+// sketchMagic guards serialized sketches against format drift.
+const sketchMagic = uint32(0x5b17ab01)
+
+// MarshalBinary serializes the sketch state together with the (m, N, C)
+// triple so a receiver can rebuild the estimator tables. The hash seed is
+// NOT serialized; the caller must construct the receiving sketch with the
+// same hasher to continue updating (estimation alone needs no hasher).
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	vb, err := s.v.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 45+len(vb))
+	buf = binary.LittleEndian.AppendUint32(buf, sketchMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.cfg.m))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.cfg.n))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.cfg.c))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.l))
+	buf = append(buf, byte(s.dBits))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(vb)))
+	buf = append(buf, vb...)
+	return buf, nil
+}
+
+// UnmarshalSketch reconstructs a sketch from MarshalBinary output. The
+// returned sketch can Estimate immediately; to continue adding items, pass
+// the same hasher used by the original via opts.
+func UnmarshalSketch(data []byte, opts ...Option) (*Sketch, error) {
+	if len(data) < 45 {
+		return nil, errors.New("core: truncated sketch header")
+	}
+	if binary.LittleEndian.Uint32(data) != sketchMagic {
+		return nil, errors.New("core: bad sketch magic")
+	}
+	m := int(binary.LittleEndian.Uint64(data[4:]))
+	n := math.Float64frombits(binary.LittleEndian.Uint64(data[12:]))
+	c := math.Float64frombits(binary.LittleEndian.Uint64(data[20:]))
+	l := int(binary.LittleEndian.Uint64(data[28:]))
+	d := uint(data[36])
+	vlen := int(binary.LittleEndian.Uint64(data[37:]))
+	if len(data) != 45+vlen {
+		return nil, fmt.Errorf("core: sketch body length %d, want %d", len(data)-45, vlen)
+	}
+	cfg, err := newConfig(m, n, c)
+	if err != nil {
+		return nil, fmt.Errorf("core: rejected serialized parameters: %w", err)
+	}
+	allOpts := append([]Option{WithResolution(d)}, opts...)
+	s := NewSketch(cfg, 0, allOpts...)
+	if err := s.v.UnmarshalBinary(data[45:]); err != nil {
+		return nil, err
+	}
+	if s.v.Len() != m {
+		return nil, fmt.Errorf("core: bitmap length %d does not match m = %d", s.v.Len(), m)
+	}
+	if s.v.Ones() != l {
+		return nil, fmt.Errorf("core: bitmap popcount %d does not match recorded L = %d", s.v.Ones(), l)
+	}
+	s.l = l
+	return s, nil
+}

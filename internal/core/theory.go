@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the exact probabilistic model of the S-bitmap:
+// the non-stationary Markov chain of Theorem 1 and the moments of the
+// filling times T_b from Lemma 1. Exact dynamic programming over the chain
+// lets the test suite verify Theorem 3 (unbiasedness and scale-invariant
+// RRMSE) to numerical precision, with no Monte-Carlo noise.
+
+// Chain is the exact distribution of the fill level L_t as t distinct items
+// stream in, evolved one step at a time.
+type Chain struct {
+	cfg  *Config
+	dist []float64 // dist[k] = P(L_t = k)
+	t    int
+}
+
+// NewChain returns the chain at t = 0 (L_0 = 0 with probability 1).
+func NewChain(cfg *Config) *Chain {
+	d := make([]float64, cfg.m+1)
+	d[0] = 1
+	return &Chain{cfg: cfg, dist: d}
+}
+
+// Step advances the chain by one distinct item: from state k the chain
+// moves to k+1 with probability q_{k+1} and stays with 1 − q_{k+1}
+// (Theorem 1).
+func (c *Chain) Step() {
+	m := c.cfg.m
+	// Walk downward so each state is updated from its pre-step value.
+	for k := m; k >= 1; k-- {
+		q := c.cfg.Q(k)
+		c.dist[k] = c.dist[k]*(1-c.cfg.qNext(k)) + c.dist[k-1]*q
+	}
+	c.dist[0] *= 1 - c.cfg.Q(1)
+	c.t++
+}
+
+// qNext returns q_{k+1}, the probability of leaving state k; state m is
+// absorbing.
+func (cfg *Config) qNext(k int) float64 {
+	if k >= cfg.m {
+		return 0
+	}
+	return cfg.Q(k + 1)
+}
+
+// T returns the number of distinct items streamed so far.
+func (c *Chain) T() int { return c.t }
+
+// Dist returns a copy of the current distribution of L_t.
+func (c *Chain) Dist() []float64 {
+	return append([]float64(nil), c.dist...)
+}
+
+// Prob returns P(L_t = k).
+func (c *Chain) Prob(k int) float64 {
+	if k < 0 || k > c.cfg.m {
+		return 0
+	}
+	return c.dist[k]
+}
+
+// EstimateMoments returns the exact mean and variance of the estimator
+// n̂ = t_B with B = min(L_t, k*), under the current distribution of L_t.
+// Theorem 3 states mean = t (exactly, absent truncation) and
+// sqrt(var)/t = (C−1)^(−1/2).
+func (c *Chain) EstimateMoments() (mean, variance float64) {
+	var m1, m2 float64
+	for k, p := range c.dist {
+		if p == 0 {
+			continue
+		}
+		b := k
+		if b > c.cfg.kMax {
+			b = c.cfg.kMax
+		}
+		est := c.cfg.t[b]
+		m1 += p * est
+		m2 += p * est * est
+	}
+	return m1, m2 - m1*m1
+}
+
+// MeanL returns E L_t under the current distribution.
+func (c *Chain) MeanL() float64 {
+	var s float64
+	for k, p := range c.dist {
+		s += p * float64(k)
+	}
+	return s
+}
+
+// EstimateDistribution returns the exact probability mass function of the
+// estimator n̂ = t_B under the current chain state, as parallel slices of
+// ascending estimate values and their probabilities. States beyond the
+// truncation point collapse onto t_{k*} (Equation 8), so the last value
+// may aggregate several states.
+func (c *Chain) EstimateDistribution() (values, probs []float64) {
+	kMax := c.cfg.kMax
+	values = make([]float64, 0, kMax+1)
+	probs = make([]float64, 0, kMax+1)
+	for b := 0; b <= kMax; b++ {
+		p := c.dist[b]
+		if b == kMax {
+			for k := kMax + 1; k <= c.cfg.m; k++ {
+				p += c.dist[k]
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		values = append(values, c.cfg.t[b])
+		probs = append(probs, p)
+	}
+	return values, probs
+}
+
+// ExactErrorMetrics returns the estimator's exact L1 error E|n̂/n − 1|,
+// L2 error (RRMSE including bias), and the q-quantile of |n̂/n − 1|, all
+// computed from the exact distribution — the theoretical counterparts of
+// the columns in the paper's Tables 3-4. n is the true cardinality (use
+// Chain.T()); q must lie in [0, 1].
+func (c *Chain) ExactErrorMetrics(n int, q float64) (l1, l2, quantile float64) {
+	if n <= 0 {
+		panic("core: ExactErrorMetrics with non-positive n")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("core: quantile %v outside [0, 1]", q))
+	}
+	values, probs := c.EstimateDistribution()
+	type errProb struct{ e, p float64 }
+	eps := make([]errProb, len(values))
+	nn := float64(n)
+	for i, v := range values {
+		e := math.Abs(v/nn - 1)
+		eps[i] = errProb{e, probs[i]}
+		l1 += probs[i] * e
+		l2 += probs[i] * e * e
+	}
+	l2 = math.Sqrt(l2)
+	sort.Slice(eps, func(i, j int) bool { return eps[i].e < eps[j].e })
+	cum := 0.0
+	quantile = eps[len(eps)-1].e
+	for _, ep := range eps {
+		cum += ep.p
+		if cum >= q-1e-12 {
+			quantile = ep.e
+			break
+		}
+	}
+	return l1, l2, quantile
+}
+
+// FillTimeMoments returns the exact mean and variance of T_b, the number of
+// distinct items needed to fill b buckets, from Lemma 1:
+//
+//	E T_b   = Σ_{k≤b} 1/q_k
+//	Var T_b = Σ_{k≤b} (1−q_k)/q_k².
+//
+// By the dimensioning rule these satisfy E T_b = t_b and
+// sqrt(Var T_b)/E T_b = C^(−1/2) for b ≤ k* (Theorem 2, Equation 4).
+func (cfg *Config) FillTimeMoments(b int) (mean, variance float64) {
+	if b < 0 || b > cfg.m {
+		panic(fmt.Sprintf("core: fill time index %d outside [0, %d]", b, cfg.m))
+	}
+	for k := 1; k <= b; k++ {
+		q := cfg.Q(k)
+		mean += 1 / q
+		variance += (1 - q) / (q * q)
+	}
+	return mean, variance
+}
+
+// TheoreticalRRMSE returns (C−1)^(−1/2), the scale-invariant error of
+// Theorem 3. Identical to Config.Epsilon; provided under the theorem's name
+// for readability at call sites that quote the theory.
+func (cfg *Config) TheoreticalRRMSE() float64 { return cfg.Epsilon() }
+
+// RelFillTimeError returns sqrt(Var T_b)/E T_b, which Theorem 2 makes
+// constant ≡ C^(−1/2) for 1 ≤ b ≤ k*.
+func (cfg *Config) RelFillTimeError(b int) float64 {
+	mean, variance := cfg.FillTimeMoments(b)
+	if mean == 0 {
+		return 0
+	}
+	return math.Sqrt(variance) / mean
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTheorem3ExactUnbiasedness verifies E n̂ = n by exact dynamic
+// programming over the Theorem 1 Markov chain — the strongest form of the
+// paper's unbiasedness claim, free of Monte-Carlo noise.
+func TestTheorem3ExactUnbiasedness(t *testing.T) {
+	cfg, err := NewConfigMN(300, 2e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	checkpoints := map[int]bool{1: true, 2: true, 10: true, 100: true, 1000: true, 5000: true}
+	for n := 1; n <= 5000; n++ {
+		chain.Step()
+		if !checkpoints[n] {
+			continue
+		}
+		mean, _ := chain.EstimateMoments()
+		if rel := math.Abs(mean-float64(n)) / float64(n); rel > 1e-6 {
+			t.Errorf("n=%d: exact E n̂ = %.6f (rel err %.2e), want unbiased", n, mean, rel)
+		}
+	}
+}
+
+// TestTheorem3ExactRRMSE verifies RRMSE(n̂) = (C−1)^(−1/2) exactly, for
+// cardinalities spanning three orders of magnitude — the scale-invariance
+// headline of the paper.
+func TestTheorem3ExactRRMSE(t *testing.T) {
+	cfg, err := NewConfigMN(300, 2e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.TheoreticalRRMSE()
+	chain := NewChain(cfg)
+	checkpoints := map[int]bool{2: true, 20: true, 200: true, 2000: true}
+	for n := 1; n <= 2000; n++ {
+		chain.Step()
+		if !checkpoints[n] {
+			continue
+		}
+		mean, variance := chain.EstimateMoments()
+		got := math.Sqrt(variance) / float64(n)
+		_ = mean
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("n=%d: exact RRMSE = %.5f, theory %.5f", n, got, want)
+		}
+	}
+}
+
+// TestTruncationReducesBoundaryError: near n = N the truncated estimator
+// (Eq. 8) must remain unbiased-or-better; the paper says truncation
+// "removes one-sided bias and thus reduces the theoretical RRMSE".
+func TestTruncationNearBoundary(t *testing.T) {
+	cfg, err := NewConfigMN(200, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(cfg.N() * 0.95)
+	chain := NewChain(cfg)
+	for i := 0; i < n; i++ {
+		chain.Step()
+	}
+	mean, variance := chain.EstimateMoments()
+	rrmse := math.Sqrt(variance+math.Pow(mean-float64(n), 2)) / float64(n)
+	if rrmse > cfg.TheoreticalRRMSE()*1.05 {
+		t.Errorf("n=0.95N: truncated RRMSE %.5f exceeds theory %.5f", rrmse, cfg.TheoreticalRRMSE())
+	}
+	// Bias must be small and one-sided (truncation can only pull down).
+	if mean > float64(n)*1.001 {
+		t.Errorf("n=0.95N: mean %.1f overshoots n=%d", mean, n)
+	}
+}
+
+func TestChainDistributionIsProbability(t *testing.T) {
+	cfg, err := NewConfigMN(150, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	for i := 0; i < 500; i++ {
+		chain.Step()
+	}
+	sum := 0.0
+	for _, p := range chain.Dist() {
+		if p < -1e-15 {
+			t.Fatalf("negative probability %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %g, want 1", sum)
+	}
+	if chain.T() != 500 {
+		t.Errorf("T() = %d, want 500", chain.T())
+	}
+	if chain.Prob(-1) != 0 || chain.Prob(cfg.M()+1) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestChainMeanLMonotone(t *testing.T) {
+	cfg, err := NewConfigMN(150, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	prev := chain.MeanL()
+	for i := 0; i < 300; i++ {
+		chain.Step()
+		cur := chain.MeanL()
+		if cur < prev-1e-12 {
+			t.Fatalf("E L_t decreased at t=%d: %g -> %g", i+1, prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 0 {
+		t.Error("E L_t did not grow")
+	}
+}
+
+// TestChainMatchesBinomialForFirstStep: after one distinct item,
+// P(L_1 = 1) = q_1 exactly.
+func TestChainFirstStep(t *testing.T) {
+	cfg, err := NewConfigMN(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	chain.Step()
+	if got, want := chain.Prob(1), cfg.Q(1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("P(L_1=1) = %g, want q_1 = %g", got, want)
+	}
+	if got, want := chain.Prob(0), 1-cfg.Q(1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("P(L_1=0) = %g, want 1-q_1 = %g", got, want)
+	}
+}
+
+func TestEstimateDistributionIsPMF(t *testing.T) {
+	cfg, err := NewConfigMN(200, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	for i := 0; i < 800; i++ {
+		chain.Step()
+	}
+	values, probs := chain.EstimateDistribution()
+	if len(values) != len(probs) || len(values) == 0 {
+		t.Fatalf("distribution shape: %d values, %d probs", len(values), len(probs))
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if p < 0 {
+			t.Fatalf("negative probability %g", p)
+		}
+		sum += p
+		if i > 0 && values[i] <= values[i-1] {
+			t.Fatalf("values not ascending at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	// Moments from the PMF must match EstimateMoments.
+	var m1, m2 float64
+	for i, v := range values {
+		m1 += probs[i] * v
+		m2 += probs[i] * v * v
+	}
+	mean, variance := chain.EstimateMoments()
+	if math.Abs(m1-mean) > 1e-9*mean {
+		t.Errorf("PMF mean %g vs moments mean %g", m1, mean)
+	}
+	if math.Abs(m2-m1*m1-variance) > 1e-6*variance {
+		t.Errorf("PMF variance %g vs moments variance %g", m2-m1*m1, variance)
+	}
+}
+
+func TestExactErrorMetricsConsistency(t *testing.T) {
+	cfg, err := NewConfigMN(200, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	const n = 500
+	for i := 0; i < n; i++ {
+		chain.Step()
+	}
+	l1, l2, q99 := chain.ExactErrorMetrics(n, 0.99)
+	// L2 without bias must equal the unbiased RRMSE ε (Theorem 3).
+	if math.Abs(l2-cfg.Epsilon())/cfg.Epsilon() > 0.02 {
+		t.Errorf("exact L2 = %g, want ε = %g", l2, cfg.Epsilon())
+	}
+	// Ordering: L1 ≤ L2 (Jensen), and q99 ≥ L2 for any unimodal-ish law.
+	if l1 > l2 {
+		t.Errorf("L1 %g > L2 %g", l1, l2)
+	}
+	if q99 < l2 {
+		t.Errorf("q99 %g < L2 %g", q99, l2)
+	}
+	// q=1 returns the worst error; q=0 the best.
+	_, _, worst := chain.ExactErrorMetrics(n, 1)
+	_, _, best := chain.ExactErrorMetrics(n, 0)
+	if worst < q99 || best > q99 {
+		t.Errorf("quantiles not ordered: best %g, q99 %g, worst %g", best, q99, worst)
+	}
+	// The normal approximation of q99 is 2.576·ε; the exact value should
+	// be within ~15% of it at this n.
+	if approx := 2.576 * cfg.Epsilon(); math.Abs(q99-approx)/approx > 0.15 {
+		t.Errorf("q99 = %g far from normal approx %g", q99, approx)
+	}
+}
+
+func TestExactErrorMetricsPanics(t *testing.T) {
+	cfg, err := NewConfigMN(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	chain.Step()
+	for _, fn := range []func(){
+		func() { chain.ExactErrorMetrics(0, 0.5) },
+		func() { chain.ExactErrorMetrics(1, -0.1) },
+		func() { chain.ExactErrorMetrics(1, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestGeometricFillTimes cross-checks Lemma 1 against the chain: the
+// probability that T_1 > t is (1-q_1)^t.
+func TestGeometricFillTimes(t *testing.T) {
+	cfg, err := NewConfigMN(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(cfg)
+	q1 := cfg.Q(1)
+	for step := 1; step <= 20; step++ {
+		chain.Step()
+		want := math.Pow(1-q1, float64(step))
+		if got := chain.Prob(0); math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("P(T_1 > %d) = %g, want (1-q_1)^t = %g", step, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package exact
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountDistinct(t *testing.T) {
+	c := New()
+	for i := 0; i < 1000; i++ {
+		c.AddUint64(uint64(i % 100))
+	}
+	if c.Count() != 100 {
+		t.Errorf("Count = %d, want 100", c.Count())
+	}
+	if c.Estimate() != 100 {
+		t.Errorf("Estimate = %g, want 100", c.Estimate())
+	}
+}
+
+func TestAddReportsNovelty(t *testing.T) {
+	c := New()
+	if !c.AddString("a") {
+		t.Error("first add returned false")
+	}
+	if c.AddString("a") {
+		t.Error("second add returned true")
+	}
+	if !c.Add([]byte("b")) {
+		t.Error("new item returned false")
+	}
+}
+
+func TestMixedKeyTypesAgree(t *testing.T) {
+	// AddString and Add of the same bytes must dedupe together.
+	c := New()
+	c.AddString("hello")
+	c.Add([]byte("hello"))
+	if c.Count() != 1 {
+		t.Errorf("Count = %d, want 1", c.Count())
+	}
+}
+
+func TestPropertyMatchesMap(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := New()
+		ref := make(map[uint64]bool)
+		for _, k := range keys {
+			c.AddUint64(k)
+			ref[k] = true
+		}
+		return c.Count() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBitsLinear(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.AddString(fmt.Sprintf("k%d", i))
+	}
+	if c.SizeBits() != 10*128 {
+		t.Errorf("SizeBits = %d, want 1280", c.SizeBits())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.AddUint64(1)
+	c.Reset()
+	if c.Count() != 0 {
+		t.Errorf("Count after reset = %d", c.Count())
+	}
+}

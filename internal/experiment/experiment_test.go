@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smokeOptions keeps integration runs fast: tiny cell budgets, few
+// replicates, deterministic seed.
+func smokeOptions() Options {
+	return Options{Seed: 7, CellBudget: 60_000, MinReps: 8, MaxReps: 40}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation_d", "ablation_hash", "ablation_rates", "ablation_trunc",
+		"asymptotics",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table2", "table3", "table4", "theory_exact",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d ids %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("id[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if Title(id) == "" {
+			t.Errorf("id %q has no title", id)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown id did not error")
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment at smoke scale
+// and sanity-checks its output structure renders.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke integration skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, smokeOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result id %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", id)
+			}
+			var b strings.Builder
+			if err := res.Render(&b); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if len(b.String()) < 100 {
+				t.Errorf("%s rendered suspiciously little output:\n%s", id, b.String())
+			}
+		})
+	}
+}
+
+// TestFig2ScaleInvariance asserts the substantive claim at smoke scale:
+// the S-bitmap RRMSE stays within a factor-2 band of theory across the
+// sweep (Monte-Carlo noise at 8-40 replicates is large, but drift of the
+// kind LogLog shows would be 10x).
+func TestFig2ScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke integration skipped in -short mode")
+	}
+	o := smokeOptions()
+	o.CellBudget = 400_000
+	o.MinReps = 60
+	res, err := Run("fig2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse the m=4000 column of the output table: theory is 3.31%.
+	tbl := res.Tables[0]
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			continue
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			t.Fatalf("unparseable n cell %q", fields[0])
+		}
+		if n < 100 {
+			// At tiny n the error distribution is a point mass plus a rare
+			// (P ≈ 1/C) total-miss event; tens of replicates cannot
+			// estimate its RRMSE. The full-fidelity run covers this range.
+			continue
+		}
+		r, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable RRMSE cell %q", fields[1])
+		}
+		if r < 3.31/2 || r > 3.31*2 {
+			t.Errorf("n=%d: m=4000 RRMSE %.2f%% outside [1.7, 6.6] band", n, r)
+		}
+	}
+}
+
+// TestTable2IsDeterministic: analytic experiments must render identically
+// across runs.
+func TestTable2IsDeterministic(t *testing.T) {
+	a, err := Run("table2", smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("table2", smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb strings.Builder
+	if err := a.Render(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Error("table2 output differs across runs")
+	}
+}
+
+// TestTheoryExactGolden pins the exact (noise-free) Table 3 numbers: any
+// change to the dimensioning rule, the chain, or the truncation logic
+// that alters these values is a behavioral regression.
+func TestTheoryExactGolden(t *testing.T) {
+	res, err := Run("theory_exact", smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Tables[0].WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"100,2.09,2.61,6.50,",
+		"1000,2.09,2.61,6.65,",
+		"7500,2.08,2.61,6.79,",
+		"10000,1.05,1.83,5.86,-1.050",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("golden row %q missing from:\n%s", want, got)
+		}
+	}
+}
+
+// TestWriteCSVs verifies the CSV export path used by sbench -csv.
+func TestWriteCSVs(t *testing.T) {
+	res, err := Run("table2", smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]*strings.Builder{}
+	paths, err := res.WriteCSVs(func(name string) (io.WriteCloser, error) {
+		b := &strings.Builder{}
+		files[name] = b
+		return nopCloser{b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "table2_0.csv" {
+		t.Fatalf("paths = %v", paths)
+	}
+	if !strings.Contains(files["table2_0.csv"].String(), "315.2") {
+		t.Errorf("CSV content wrong:\n%s", files["table2_0.csv"].String())
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestAdaptiveReps(t *testing.T) {
+	o := Options{CellBudget: 1000, MinReps: 5, MaxReps: 50}.withDefaults()
+	if got := o.reps(1); got != 50 {
+		t.Errorf("reps(1) = %d, want MaxReps 50", got)
+	}
+	if got := o.reps(100); got != 10 {
+		t.Errorf("reps(100) = %d, want 10", got)
+	}
+	if got := o.reps(1_000_000); got != 5 {
+		t.Errorf("reps(1e6) = %d, want MinReps 5", got)
+	}
+}
+
+// TestFig4DimensioningSucceeds guards the interplay between the shared
+// memory budgets of Figure 4 / Tables 3-4 and every algorithm's
+// dimensioning: a change to mrbitmap.Dimension or the budget → register
+// mappings that breaks any published configuration must fail loudly here,
+// not at experiment runtime.
+func TestFig4DimensioningSucceeds(t *testing.T) {
+	configs := []struct {
+		mbits int
+		n     float64
+	}{
+		{40000, 1 << 20}, {3200, 1 << 20}, {800, 1 << 20}, // fig4 panels
+		{2700, 1e4},   // table3
+		{6720, 1e6},   // table4
+		{8000, 1e6},   // fig5/fig6
+		{7200, 1.5e6}, // fig8
+	}
+	for _, c := range configs {
+		algs, err := algorithms(c.mbits, c.n)
+		if err != nil {
+			t.Fatalf("m=%d N=%g: %v", c.mbits, c.n, err)
+		}
+		if len(algs) != len(algOrder) {
+			t.Fatalf("m=%d N=%g: %d algorithms, want %d", c.mbits, c.n, len(algs), len(algOrder))
+		}
+		for _, name := range algOrder {
+			sk := algs[name](1)
+			// Budget discipline: no sketch may exceed the shared budget.
+			if sk.SizeBits() > c.mbits {
+				t.Errorf("m=%d N=%g: %s uses %d bits > budget", c.mbits, c.n, name, sk.SizeBits())
+			}
+			// And none may be degenerate (under 1/20 of it).
+			if sk.SizeBits() < c.mbits/20 {
+				t.Errorf("m=%d N=%g: %s uses only %d bits of %d", c.mbits, c.n, name, sk.SizeBits(), c.mbits)
+			}
+		}
+	}
+}
+
+func TestLogspaceInts(t *testing.T) {
+	xs := logspaceInts(10, 1000, 1)
+	if xs[0] != 10 || xs[len(xs)-1] != 1000 {
+		t.Errorf("endpoints wrong: %v", xs)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("not strictly increasing: %v", xs)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tablewriter"
+)
+
+func init() {
+	register("theory_exact",
+		"Exact S-bitmap error metrics for the Table 3 configuration (N = 10^4, m = 2700), by DP over the Theorem-1 chain — zero Monte-Carlo noise",
+		runTheoryExact)
+}
+
+// runTheoryExact computes the S-bitmap columns of Table 3 EXACTLY: the
+// full estimator distribution at each cardinality gives L1, L2 and the
+// 99%-quantile to numerical precision. This separates two questions the
+// Monte-Carlo tables entangle: "does the implementation match the
+// theory?" (this experiment: yes, deterministically) and "does the theory
+// match the paper's published numbers?" (compare the columns below with
+// Table 3's S columns: L1 2.1, L2 2.6, q99 ≈ 6.6).
+func runTheoryExact(o Options) (*Result, error) {
+	cfg, err := core.NewConfigMN(2700, 1e4)
+	if err != nil {
+		return nil, err
+	}
+	checkpoints := map[int]bool{10: true, 100: true, 1000: true, 5000: true, 7500: true, 10000: true}
+
+	tbl := tablewriter.New(
+		fmt.Sprintf("Exact S-bitmap metrics ×100 (m=2700, N=10^4, ε=%.2f%%)", 100*cfg.Epsilon()),
+		"n", "L1", "L2 (RRMSE)", "99% quantile", "bias %")
+	chain := core.NewChain(cfg)
+	for n := 1; n <= 10000; n++ {
+		chain.Step()
+		if !checkpoints[n] {
+			continue
+		}
+		l1, l2, q99 := chain.ExactErrorMetrics(n, 0.99)
+		mean, _ := chain.EstimateMoments()
+		tbl.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", 100*l1),
+			fmt.Sprintf("%.2f", 100*l2),
+			fmt.Sprintf("%.2f", 100*q99),
+			fmt.Sprintf("%+.3f", 100*(mean/float64(n)-1)))
+		o.tracef("theory_exact n=%d done\n", n)
+	}
+
+	res := &Result{ID: "theory_exact", Title: Title("theory_exact")}
+	res.Tables = append(res.Tables, tbl)
+	res.Notes = append(res.Notes,
+		"paper Table 3, S columns: L1 ≈ 2.1, L2 ≈ 2.6, q99 ≈ 6.2-6.9 at every n — compare directly",
+		"the bias column verifies Theorem 3's unbiasedness away from the boundary and quantifies the (beneficial) truncation bias at n = N")
+	return res, nil
+}

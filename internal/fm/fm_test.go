@@ -1,0 +1,116 @@
+package fm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestEmptyEstimateSmall(t *testing.T) {
+	s := New(64, 1)
+	// All ranks zero → estimate m/φ·2^0 = m/φ; FM is known to be biased
+	// at tiny cardinalities, but it must at least be finite and fixed.
+	got := s.Estimate()
+	want := 64 / phi
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("empty estimate = %g, want %g", got, want)
+	}
+}
+
+func TestAccuracyMidRange(t *testing.T) {
+	// PCSA theory: relative standard error ≈ 0.78/√m.
+	const m, n, reps = 256, 100000, 120
+	var sum stats.ErrorSummary
+	for rep := 0; rep < reps; rep++ {
+		s := New(m, uint64(rep)+5)
+		base := uint64(rep) << 36
+		for i := 0; i < n; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), n)
+	}
+	theory := 0.78 / math.Sqrt(m)
+	if got := sum.RRMSE(); got > 1.6*theory {
+		t.Errorf("RRMSE = %.4f, theory ≈ %.4f", got, theory)
+	}
+	if bias := sum.Bias(); math.Abs(bias) > 0.05 {
+		t.Errorf("bias = %.4f, want small", bias)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s := New(64, 2)
+	s.AddUint64(7)
+	before := s.Estimate()
+	for i := 0; i < 1000; i++ {
+		if s.AddUint64(7) {
+			t.Fatal("duplicate changed a register")
+		}
+	}
+	if s.Estimate() != before {
+		t.Error("duplicates changed the estimate")
+	}
+}
+
+func TestMergeEqualsUnionStream(t *testing.T) {
+	a, b, all := New(128, 9), New(128, 9), New(128, 9)
+	r := xrand.New(6)
+	for i := 0; i < 5000; i++ {
+		x := r.Uint64()
+		a.AddUint64(x)
+		all.AddUint64(x)
+	}
+	for i := 0; i < 5000; i++ {
+		x := r.Uint64()
+		b.AddUint64(x)
+		all.AddUint64(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != all.Estimate() {
+		t.Errorf("merged estimate %g != union estimate %g", a.Estimate(), all.Estimate())
+	}
+	if err := a.Merge(New(64, 9)); err == nil {
+		t.Error("merge of mismatched sizes did not error")
+	}
+}
+
+func TestMemoryForBits(t *testing.T) {
+	if m := MemoryForBits(3200); m != 100 {
+		t.Errorf("MemoryForBits(3200) = %d, want 100", m)
+	}
+	if m := MemoryForBits(1); m != 1 {
+		t.Errorf("MemoryForBits(1) = %d, want 1 (floor)", m)
+	}
+}
+
+func TestSizeResetPanic(t *testing.T) {
+	s := New(100, 1)
+	if s.SizeBits() != 3200 {
+		t.Errorf("SizeBits = %d, want 3200", s.SizeBits())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		s.AddUint64(i)
+	}
+	s.Reset()
+	if got := s.Estimate(); math.Abs(got-100/phi) > 1e-9 {
+		t.Errorf("estimate after reset = %g, want empty value", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m < 1")
+		}
+	}()
+	New(0, 1)
+}
+
+func BenchmarkAddUint64(b *testing.B) {
+	s := New(256, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddUint64(uint64(i))
+	}
+}

@@ -1,0 +1,226 @@
+package hyperloglog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestAccuracyMatchesTheory(t *testing.T) {
+	// RRMSE ≈ 1.04/√m in the harmonic-mean regime.
+	const kBits, n, reps = 8, 100000, 150 // m = 256
+	var sum stats.ErrorSummary
+	for rep := 0; rep < reps; rep++ {
+		s := New(kBits, uint64(rep)+3)
+		base := uint64(rep) << 36
+		for i := 0; i < n; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), n)
+	}
+	theory := 1.04 / math.Sqrt(1<<kBits)
+	if got := sum.RRMSE(); got > 1.4*theory || got < theory/2 {
+		t.Errorf("RRMSE = %.4f, theory %.4f", got, theory)
+	}
+	if bias := sum.Bias(); math.Abs(bias) > 0.03 {
+		t.Errorf("bias = %.4f, want ≈ 0", bias)
+	}
+}
+
+func TestSmallRangeCorrection(t *testing.T) {
+	// With n ≪ m the estimator must fall back to linear counting over
+	// registers, giving near-exact answers — HLL's fix for LogLog's
+	// small-n failure.
+	const kBits = 10 // m = 1024
+	var sum stats.ErrorSummary
+	for rep := 0; rep < 100; rep++ {
+		s := New(kBits, uint64(rep)+17)
+		base := uint64(rep) << 36
+		for i := 0; i < 50; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), 50)
+	}
+	if got := sum.RRMSE(); got > 0.2 {
+		t.Errorf("small-n RRMSE = %.4f; small-range correction broken?", got)
+	}
+}
+
+func TestEstimateContinuityAcrossCorrection(t *testing.T) {
+	// Walk n across the 2.5m correction boundary and verify no wild jump
+	// in a single sketch's estimate sequence.
+	s := New(8, 5) // m=256, boundary at 640
+	prev := 0.0
+	for i := uint64(0); i < 2000; i++ {
+		s.AddUint64(i)
+		est := s.Estimate()
+		if i > 100 && est < prev*0.5 {
+			t.Fatalf("estimate collapsed at n=%d: %g -> %g", i+1, prev, est)
+		}
+		prev = est
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s := New(6, 2)
+	s.AddUint64(999)
+	before := s.Estimate()
+	for i := 0; i < 500; i++ {
+		if s.AddUint64(999) {
+			t.Fatal("duplicate grew a register")
+		}
+	}
+	if s.Estimate() != before {
+		t.Error("duplicates changed the estimate")
+	}
+}
+
+func TestMergeEqualsUnionStream(t *testing.T) {
+	a, b, all := New(7, 9), New(7, 9), New(7, 9)
+	r := xrand.New(8)
+	for i := 0; i < 20000; i++ {
+		x := r.Uint64()
+		if i%3 == 0 {
+			a.AddUint64(x)
+		} else {
+			b.AddUint64(x)
+		}
+		all.AddUint64(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != all.Estimate() {
+		t.Errorf("merged %g != union %g", a.Estimate(), all.Estimate())
+	}
+	if err := a.Merge(New(6, 9)); err == nil {
+		t.Error("merge of mismatched m did not error")
+	}
+}
+
+func TestMemoryBitsForPaperTable2(t *testing.T) {
+	// Table 2's HLLog column (unit: 100 bits): (1.04/ε)² registers of α
+	// bits; e.g. N = 10³, ε = 1% gives 1.04²·10⁴·4 bits = 432.6.
+	printed := []struct {
+		n, eps, want float64
+	}{
+		{1e3, 0.01, 432.6}, {1e4, 0.01, 432.6}, {1e5, 0.01, 540.8},
+		{1e6, 0.01, 540.8}, {1e7, 0.01, 540.8},
+		{1e3, 0.03, 48.1}, {1e6, 0.03, 60.1},
+		{1e3, 0.09, 5.3}, {1e6, 0.09, 6.7},
+	}
+	for _, c := range printed {
+		bits, err := MemoryBitsFor(c.n, c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(bits) / 100
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("MemoryBitsFor(%g, %g) = %.1f hundred-bits, paper %.1f", c.n, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestRegisterWidthSwitching(t *testing.T) {
+	// α = 4 for 2^8 ≤ N < 2^16, α = 5 for 2^16 ≤ N < 2^32.
+	if w := registerWidthFor(1000); w != 4 {
+		t.Errorf("width(1000) = %d, want 4", w)
+	}
+	if w := registerWidthFor(1e5); w != 5 {
+		t.Errorf("width(1e5) = %d, want 5", w)
+	}
+	if w := registerWidthFor(1e9); w != 5 {
+		t.Errorf("width(1e9) = %d, want 5", w)
+	}
+	if w := registerWidthFor(100); w != 3 {
+		t.Errorf("width(100) = %d, want 3 (clamp)", w)
+	}
+}
+
+func TestMemoryBitsForErrors(t *testing.T) {
+	if _, err := MemoryBitsFor(1e4, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := MemoryBitsFor(1e4, 1); err == nil {
+		t.Error("eps=1 accepted")
+	}
+}
+
+func TestAlphaConstants(t *testing.T) {
+	// The original paper's tabulated constants for small m plus the
+	// closed form for large m.
+	cases := []struct {
+		m    int
+		want float64
+	}{
+		{16, 0.673}, {32, 0.697}, {64, 0.709},
+		{128, 0.7213 / (1 + 1.079/128)},
+		{4096, 0.7213 / (1 + 1.079/4096)},
+	}
+	for _, c := range cases {
+		if got := alpha(c.m); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("alpha(%d) = %v, want %v", c.m, got, c.want)
+		}
+	}
+	// Exercise the small-m constructors end to end.
+	for _, k := range []uint{4, 5, 6} {
+		s := New(k, 1)
+		for i := uint64(0); i < 100000; i++ {
+			s.AddUint64(i)
+		}
+		if rel := math.Abs(s.Estimate()/100000 - 1); rel > 5*s.StdErrTheory() {
+			t.Errorf("kBits=%d: estimate %.0f for n=100000 (rel %.3f)", k, s.Estimate(), rel)
+		}
+	}
+}
+
+func TestKBitsForBudget(t *testing.T) {
+	cases := []struct {
+		mbits int
+		want  uint
+	}{
+		{40000, 12}, {3200, 9}, {800, 7}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := KBitsForBudget(c.mbits); got != c.want {
+			t.Errorf("KBitsForBudget(%d) = %d, want %d", c.mbits, got, c.want)
+		}
+	}
+}
+
+func TestSizeResetPanics(t *testing.T) {
+	s := New(8, 1)
+	if s.M() != 256 || s.SizeBits() != 256*RegisterBits {
+		t.Errorf("M=%d SizeBits=%d", s.M(), s.SizeBits())
+	}
+	if math.Abs(s.StdErrTheory()-1.04/16) > 1e-12 {
+		t.Errorf("StdErrTheory = %g", s.StdErrTheory())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		s.AddUint64(i)
+	}
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Errorf("estimate after reset = %g, want 0 (all registers empty → LC of m/m)", s.Estimate())
+	}
+	for _, k := range []uint{3, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("kBits=%d: expected panic", k)
+				}
+			}()
+			New(k, 1)
+		}()
+	}
+}
+
+func BenchmarkAddUint64(b *testing.B) {
+	s := New(12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddUint64(uint64(i))
+	}
+}

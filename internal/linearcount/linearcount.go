@@ -1,0 +1,134 @@
+// Package linearcount implements linear (probabilistic) counting from
+// Whang, Vander-Zanden & Taylor (1990), the first baseline reviewed in
+// Section 2.2 of the S-bitmap paper.
+//
+// Distinct items are hashed uniformly into a bitmap of m bits; with Z empty
+// buckets remaining, the maximum-likelihood cardinality estimate is
+//
+//	n̂ = m · ln(m / Z).
+//
+// Linear counting is accurate while the bitmap load n/m stays moderate
+// (memory grows almost linearly in n, hence the name) and degrades sharply
+// as the bitmap saturates; the S-bitmap paper uses it both as a baseline
+// and as the estimation primitive inside virtual and multiresolution
+// bitmaps.
+package linearcount
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/uhash"
+)
+
+// Sketch is a linear counting bitmap. Not safe for concurrent use.
+type Sketch struct {
+	v *bitvec.Vector
+	h uhash.Hasher
+}
+
+// New returns a linear counting sketch with m bits, hashing with the
+// default Mixer seeded by seed. It panics if m < 1.
+func New(m int, seed uint64) *Sketch {
+	return NewWithHasher(m, uhash.NewMixer(seed))
+}
+
+// NewWithHasher returns a linear counting sketch with m bits and an
+// explicit hash function.
+func NewWithHasher(m int, h uhash.Hasher) *Sketch {
+	if m < 1 {
+		panic(fmt.Sprintf("linearcount: bitmap size %d < 1", m))
+	}
+	return &Sketch{v: bitvec.New(m), h: h}
+}
+
+// MemoryFor returns the bitmap size (in bits) needed to count up to n with
+// relative standard error roughly eps, from Whang et al.'s analysis:
+// SE(n̂)/n = sqrt((e^ρ − ρ − 1)/(ρ·n)) at load ρ = n/m, solved for the
+// largest admissible load by bisection. This is the "memory almost linear
+// in n" cost that names the method.
+func MemoryFor(n float64, eps float64) int {
+	if n < 1 {
+		n = 1
+	}
+	// (e^ρ − ρ − 1)/ρ is increasing in ρ; the largest feasible load
+	// satisfies (e^ρ − ρ − 1)/(ρ·n) = eps².
+	f := func(rho float64) float64 {
+		return (math.Exp(rho) - rho - 1) / (rho * n)
+	}
+	lo, hi := 1e-9, 60.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > eps*eps {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return int(math.Ceil(n / lo))
+}
+
+// Add offers an item to the sketch and reports whether a bucket changed.
+func (s *Sketch) Add(item []byte) bool {
+	hi, _ := s.h.Sum128(item)
+	return s.insert(hi)
+}
+
+// AddUint64 offers a 64-bit item (equivalent to its 8-byte LE encoding).
+func (s *Sketch) AddUint64(item uint64) bool {
+	hi, _ := s.h.Sum128Uint64(item)
+	return s.insert(hi)
+}
+
+func (s *Sketch) insert(word uint64) bool {
+	j, _ := bits.Mul64(word, uint64(s.v.Len()))
+	return s.v.Set(int(j))
+}
+
+// Ones returns the number of set buckets.
+func (s *Sketch) Ones() int { return s.v.Ones() }
+
+// Saturated reports whether every bucket is set, in which case Estimate
+// returns the (finite) saturation cap m·ln(m) rather than +Inf.
+func (s *Sketch) Saturated() bool { return s.v.Zeros() == 0 }
+
+// Estimate returns n̂ = m·ln(m/Z). A saturated bitmap returns m·ln(m),
+// the largest value the estimator can justify.
+func (s *Sketch) Estimate() float64 {
+	m := float64(s.v.Len())
+	z := float64(s.v.Zeros())
+	if z == 0 {
+		return m * math.Log(m)
+	}
+	return m * math.Log(m/z)
+}
+
+// StdErr returns the analytical standard error of the estimate at the
+// current load t = n̂/m: sqrt(m)·sqrt(e^t − t − 1)/n̂ (Whang et al., Eq. 4.1
+// region). It is NaN for an empty or saturated sketch.
+func (s *Sketch) StdErr() float64 {
+	est := s.Estimate()
+	if est == 0 || s.Saturated() {
+		return math.NaN()
+	}
+	m := float64(s.v.Len())
+	t := est / m
+	return math.Sqrt(m*(math.Exp(t)-t-1)) / est
+}
+
+// Merge ORs another linear counting sketch into s. Both must have the same
+// size and (for meaningful results) the same hash function; the merged
+// sketch estimates the cardinality of the union of the two streams.
+func (s *Sketch) Merge(o *Sketch) error {
+	return s.v.UnionWith(o.vector())
+}
+
+func (s *Sketch) vector() *bitvec.Vector { return s.v }
+
+// SizeBits returns the summary memory footprint in bits.
+func (s *Sketch) SizeBits() int { return s.v.Len() }
+
+// Reset clears the sketch for reuse.
+func (s *Sketch) Reset() { s.v.Reset() }

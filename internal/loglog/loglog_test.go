@@ -1,0 +1,158 @@
+package loglog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestAlphaConvergesToAsymptote(t *testing.T) {
+	// Durand & Flajolet: α_m → 0.39701 as m → ∞.
+	if a := Alpha(1 << 16); math.Abs(a-0.39701) > 0.0005 {
+		t.Errorf("Alpha(65536) = %.5f, want ≈ 0.39701", a)
+	}
+	// α_m must be positive and increasing toward the limit for large m.
+	prev := 0.0
+	for _, k := range []int{16, 64, 256, 1024} {
+		a := Alpha(k)
+		if a <= 0 || a > 1 {
+			t.Fatalf("Alpha(%d) = %g out of range", k, a)
+		}
+		_ = prev
+		prev = a
+	}
+}
+
+func TestAccuracyMatchesTheory(t *testing.T) {
+	// RRMSE should be ≈ 1.30/√m for cardinalities ≫ m.
+	const kBits, n, reps = 8, 100000, 150 // m = 256
+	var sum stats.ErrorSummary
+	for rep := 0; rep < reps; rep++ {
+		s := New(kBits, uint64(rep)+3)
+		base := uint64(rep) << 36
+		for i := 0; i < n; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), n)
+	}
+	theory := 1.30 / math.Sqrt(1<<kBits)
+	if got := sum.RRMSE(); got > 1.4*theory || got < theory/2 {
+		t.Errorf("RRMSE = %.4f, theory %.4f", got, theory)
+	}
+	if bias := sum.Bias(); math.Abs(bias) > 0.04 {
+		t.Errorf("bias = %.4f, want ≈ 0", bias)
+	}
+	s := New(kBits, 1)
+	if math.Abs(s.StdErrTheory()-theory) > 1e-12 {
+		t.Errorf("StdErrTheory = %g, want %g", s.StdErrTheory(), theory)
+	}
+}
+
+func TestSmallCardinalityWeakness(t *testing.T) {
+	// LogLog's documented weakness (why HLL has the small-range
+	// correction and why Fig 4's LLog curve starts high): with n ≪ m the
+	// estimate is strongly biased. Assert the bias really is large so the
+	// Figure 4 reproduction's shape is explained by the implementation.
+	const kBits = 10 // m = 1024
+	var sum stats.ErrorSummary
+	for rep := 0; rep < 100; rep++ {
+		s := New(kBits, uint64(rep)+17)
+		base := uint64(rep) << 36
+		for i := 0; i < 30; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), 30)
+	}
+	if bias := sum.Bias(); bias < 0.5 {
+		t.Errorf("small-n bias = %.3f; expected the classic large positive bias", bias)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s := New(6, 2)
+	s.AddUint64(12345)
+	before := s.Estimate()
+	for i := 0; i < 500; i++ {
+		if s.AddUint64(12345) {
+			t.Fatal("duplicate grew a register")
+		}
+	}
+	if s.Estimate() != before {
+		t.Error("duplicates changed the estimate")
+	}
+}
+
+func TestMergeEqualsUnionStream(t *testing.T) {
+	a, b, all := New(7, 9), New(7, 9), New(7, 9)
+	r := xrand.New(8)
+	for i := 0; i < 20000; i++ {
+		x := r.Uint64()
+		if i%2 == 0 {
+			a.AddUint64(x)
+		} else {
+			b.AddUint64(x)
+		}
+		all.AddUint64(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != all.Estimate() {
+		t.Errorf("merged %g != union %g", a.Estimate(), all.Estimate())
+	}
+	if err := a.Merge(New(6, 9)); err == nil {
+		t.Error("merge of mismatched m did not error")
+	}
+}
+
+func TestKBitsForBudget(t *testing.T) {
+	cases := []struct {
+		mbits int
+		want  uint
+	}{
+		{40000, 12}, // 2^12·5 = 20480 ≤ 40000 < 2^13·5
+		{3200, 9},   // 2^9·5 = 2560 ≤ 3200 < 2^10·5 = 5120
+		{800, 7},    // 2^7·5 = 640 ≤ 800 < 1280
+		{1, 2},      // floor
+	}
+	for _, c := range cases {
+		if got := KBitsForBudget(c.mbits); got != c.want {
+			t.Errorf("KBitsForBudget(%d) = %d, want %d", c.mbits, got, c.want)
+		}
+	}
+}
+
+func TestSizeResetPanics(t *testing.T) {
+	s := New(8, 1)
+	if s.M() != 256 || s.SizeBits() != 256*RegisterBits {
+		t.Errorf("M=%d SizeBits=%d", s.M(), s.SizeBits())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		s.AddUint64(i)
+	}
+	s.Reset()
+	empty := New(8, 1)
+	if s.Estimate() != empty.Estimate() {
+		t.Error("reset did not restore empty state")
+	}
+	for _, k := range []uint{1, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("kBits=%d: expected panic", k)
+				}
+			}()
+			New(k, 1)
+		}()
+	}
+}
+
+func BenchmarkAddUint64(b *testing.B) {
+	s := New(12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddUint64(uint64(i))
+	}
+}

@@ -1,0 +1,165 @@
+package netflow
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestSlammerShape(t *testing.T) {
+	for link := 0; link <= 1; link++ {
+		tr := Slammer(link, 99)
+		if len(tr.Counts) != SlammerMinutes {
+			t.Fatalf("link %d: %d minutes, want %d", link, len(tr.Counts), SlammerMinutes)
+		}
+		// Median should sit in the Figure 5 band: ~2^15 (link 1) or ~2^16
+		// (link 0), within a factor of 2.
+		sorted := append([]int(nil), tr.Counts...)
+		sort.Ints(sorted)
+		median := float64(sorted[len(sorted)/2])
+		wantLog2 := 15.3
+		if link == 0 {
+			wantLog2 = 16.2
+		}
+		if math.Abs(math.Log2(median)-wantLog2) > 1 {
+			t.Errorf("link %d: median %0.f (2^%.2f), want ≈ 2^%.1f", link, median, math.Log2(median), wantLog2)
+		}
+		// Bursts: max should exceed median by at least 3× (the "order of
+		// difference" bursts), but stay within the N = 10^6 design bound.
+		max := float64(sorted[len(sorted)-1])
+		if max < 3*median {
+			t.Errorf("link %d: no bursts (max %.0f, median %.0f)", link, max, median)
+		}
+		if max > 1e6 {
+			t.Errorf("link %d: burst %0.f exceeds the experiment's N = 10^6", link, max)
+		}
+	}
+}
+
+func TestSlammerDeterminism(t *testing.T) {
+	a := Slammer(1, 5)
+	b := Slammer(1, 5)
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("same seed diverged at minute %d", i)
+		}
+	}
+	c := Slammer(1, 6)
+	same := 0
+	for i := range a.Counts {
+		if a.Counts[i] == c.Counts[i] {
+			same++
+		}
+	}
+	if same > len(a.Counts)/10 {
+		t.Errorf("different seeds matched on %d/%d minutes", same, len(a.Counts))
+	}
+}
+
+func TestIntervalStreamGroundTruth(t *testing.T) {
+	tr := Slammer(1, 7)
+	// Check a couple of intervals: distinct count must equal the trace's
+	// declared count, with genuine duplication present.
+	for _, i := range []int{0, 100} {
+		s := tr.IntervalStream(i)
+		seen := make(map[uint64]bool)
+		total := 0
+		stream.ForEach(s, func(x uint64) { seen[x] = true; total++ })
+		if len(seen) != tr.Counts[i] {
+			t.Errorf("interval %d: %d distinct, trace says %d", i, len(seen), tr.Counts[i])
+		}
+		if total <= len(seen) {
+			t.Errorf("interval %d: no duplication (%d packets, %d flows)", i, total, len(seen))
+		}
+	}
+}
+
+func TestBackboneQuantileAnchors(t *testing.T) {
+	for _, q := range paperQuantiles {
+		got := BackboneQuantile(q[0])
+		if math.Abs(got-q[1])/q[1] > 0.01 {
+			t.Errorf("BackboneQuantile(%g) = %.0f, want anchor %.0f", q[0], got, q[1])
+		}
+	}
+	// Monotone.
+	prev := 0.0
+	for p := 0.001; p < 1; p += 0.007 {
+		v := BackboneQuantile(p)
+		if v < prev {
+			t.Fatalf("quantile function not monotone at p=%.3f", p)
+		}
+		prev = v
+	}
+	// Clamps.
+	if BackboneQuantile(0) < 10 {
+		t.Error("lower clamp violated")
+	}
+	if BackboneQuantile(1) > 1.4e6 {
+		t.Error("upper clamp violated")
+	}
+}
+
+func TestBackboneSnapshotQuantiles(t *testing.T) {
+	counts := BackboneSnapshot(600, 3)
+	if len(counts) != 600 {
+		t.Fatalf("snapshot has %d links", len(counts))
+	}
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	sort.Float64s(vals)
+	// The stratified draw should reproduce the paper's quantiles within
+	// ~35% (log-domain interpolation at 600 samples).
+	for _, q := range [][2]float64{{0.25, 196}, {0.5, 2817}, {0.75, 19401}} {
+		got := vals[int(q[0]*float64(len(vals)))]
+		if got < q[1]*0.65 || got > q[1]*1.55 {
+			t.Errorf("snapshot %g-quantile = %.0f, paper %.0f", q[0], got, q[1])
+		}
+	}
+}
+
+func TestLinkStreamGroundTruth(t *testing.T) {
+	s := LinkStream(500, 11)
+	seen := make(map[uint64]bool)
+	stream.ForEach(s, func(x uint64) { seen[x] = true })
+	if len(seen) != 500 {
+		t.Errorf("link stream: %d distinct, want 500", len(seen))
+	}
+}
+
+func TestFlowKeyDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for src := uint32(0); src < 50; src++ {
+		for dst := uint32(0); dst < 50; dst++ {
+			seen[FlowKey(src, dst, 80, 443, 6)] = true
+		}
+	}
+	if len(seen) != 2500 {
+		t.Errorf("%d distinct flow keys from 2500 tuples", len(seen))
+	}
+	if FlowKey(1, 2, 3, 4, 6) == FlowKey(1, 2, 3, 4, 17) {
+		t.Error("protocol not part of flow identity")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	tr := Slammer(0, 1)
+	for name, fn := range map[string]func(){
+		"bad link":     func() { Slammer(2, 1) },
+		"bad interval": func() { tr.IntervalStream(-1) },
+		"bad links":    func() { BackboneSnapshot(0, 1) },
+		"bad count":    func() { LinkStream(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

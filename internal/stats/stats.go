@@ -1,0 +1,270 @@
+// Package stats provides the statistical machinery used by the evaluation:
+// streaming moment accumulators, the error metrics the paper reports
+// (RRMSE/L2, L1, and error quantiles, Tables 3-4), empirical quantile
+// estimation, base-2 histograms (Figure 7), and the exceedance curves
+// ("proportion of estimates with |relative error| above a threshold") of
+// Figures 6 and 8.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count, mean, and variance of a stream of observations
+// using Welford's numerically stable online algorithm.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the population variance (dividing by n, matching the paper's
+// plug-in mean-square definitions). Returns 0 for fewer than 1 observation.
+func (a *Accumulator) Var() float64 {
+	if a.n < 1 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// SampleVar returns the unbiased sample variance (dividing by n-1).
+func (a *Accumulator) SampleVar() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the population standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min and Max return the extrema (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds o into a, as if all of o's observations had been Added.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	n := a.n + o.n
+	delta := o.mean - a.mean
+	mean := a.mean + delta*float64(o.n)/float64(n)
+	m2 := a.m2 + o.m2 + delta*delta*float64(a.n)*float64(o.n)/float64(n)
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// ErrorSummary aggregates the relative estimation errors e_i = n̂_i/n − 1
+// across replicates of one (algorithm, cardinality) cell, producing every
+// metric the paper's tables report.
+type ErrorSummary struct {
+	relErrs []float64
+}
+
+// AddEstimate records one estimate for true cardinality n > 0.
+func (s *ErrorSummary) AddEstimate(estimate, n float64) {
+	if n <= 0 {
+		panic("stats: AddEstimate with non-positive true cardinality")
+	}
+	s.relErrs = append(s.relErrs, estimate/n-1)
+}
+
+// AddRelErr records a pre-computed relative error.
+func (s *ErrorSummary) AddRelErr(e float64) { s.relErrs = append(s.relErrs, e) }
+
+// N returns the number of recorded replicates.
+func (s *ErrorSummary) N() int { return len(s.relErrs) }
+
+// RRMSE returns sqrt(mean(e^2)), the paper's L2 metric Re(n̂).
+func (s *ErrorSummary) RRMSE() float64 {
+	if len(s.relErrs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range s.relErrs {
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(s.relErrs)))
+}
+
+// L1 returns mean(|e|), the paper's L1 metric E|n̂/n − 1|.
+func (s *ErrorSummary) L1() float64 {
+	if len(s.relErrs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range s.relErrs {
+		sum += math.Abs(e)
+	}
+	return sum / float64(len(s.relErrs))
+}
+
+// Bias returns mean(e), which should be ≈ 0 for an unbiased estimator.
+func (s *ErrorSummary) Bias() float64 {
+	if len(s.relErrs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, e := range s.relErrs {
+		sum += e
+	}
+	return sum / float64(len(s.relErrs))
+}
+
+// QuantileAbs returns the q-quantile (0 ≤ q ≤ 1) of |e|; the paper's tables
+// use q = 0.99.
+func (s *ErrorSummary) QuantileAbs(q float64) float64 {
+	if len(s.relErrs) == 0 {
+		return math.NaN()
+	}
+	abs := make([]float64, len(s.relErrs))
+	for i, e := range s.relErrs {
+		abs[i] = math.Abs(e)
+	}
+	return Quantile(abs, q)
+}
+
+// ExceedFraction returns the fraction of replicates with |e| > threshold —
+// one point of the Figure 6/8 curves.
+func (s *ErrorSummary) ExceedFraction(threshold float64) float64 {
+	if len(s.relErrs) == 0 {
+		return math.NaN()
+	}
+	count := 0
+	for _, e := range s.relErrs {
+		if math.Abs(e) > threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(s.relErrs))
+}
+
+// Quantile returns the q-quantile of data using linear interpolation
+// between order statistics (type 7, the R/NumPy default). data is not
+// modified. It panics if data is empty or q is outside [0, 1].
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// QuantilesSorted returns the quantiles qs of data, sorting it once.
+// data IS modified (sorted in place).
+func QuantilesSorted(data []float64, qs ...float64) []float64 {
+	if len(data) == 0 {
+		panic("stats: QuantilesSorted of empty data")
+	}
+	sort.Float64s(data)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+		}
+		out[i] = quantileSorted(data, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Log2Histogram counts observations into power-of-two bins, reproducing the
+// presentation of Figure 7 ("Number of flows (log base 2)"). Bin k covers
+// [2^k, 2^(k+1)); values below 1 land in bin 0's underflow counter.
+type Log2Histogram struct {
+	bins      map[int]int
+	underflow int
+	total     int
+}
+
+// NewLog2Histogram returns an empty histogram.
+func NewLog2Histogram() *Log2Histogram {
+	return &Log2Histogram{bins: make(map[int]int)}
+}
+
+// Add records v.
+func (h *Log2Histogram) Add(v float64) {
+	h.total++
+	if v < 1 {
+		h.underflow++
+		return
+	}
+	h.bins[int(math.Floor(math.Log2(v)))]++
+}
+
+// Total returns the number of observations.
+func (h *Log2Histogram) Total() int { return h.total }
+
+// Underflow returns the count of observations below 1.
+func (h *Log2Histogram) Underflow() int { return h.underflow }
+
+// Bins returns (exponent, count) pairs sorted by exponent.
+func (h *Log2Histogram) Bins() (exps []int, counts []int) {
+	for e := range h.bins {
+		exps = append(exps, e)
+	}
+	sort.Ints(exps)
+	counts = make([]int, len(exps))
+	for i, e := range exps {
+		counts[i] = h.bins[e]
+	}
+	return exps, counts
+}
+
+// Count returns the count of bin with exponent e.
+func (h *Log2Histogram) Count(e int) int { return h.bins[e] }

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d, want 8", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	if !almostEqual(a.Var(), 4, 1e-12) {
+		t.Errorf("Var = %v, want 4", a.Var())
+	}
+	if !almostEqual(a.Std(), 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", a.Std())
+	}
+	if !almostEqual(a.SampleVar(), 32.0/7, 1e-12) {
+		t.Errorf("SampleVar = %v, want 32/7", a.SampleVar())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.SampleVar() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorMergeEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n1, n2 := 1+r.Intn(100), 1+r.Intn(100)
+		var all, a, b Accumulator
+		for i := 0; i < n1; i++ {
+			x := r.NormFloat64() * 10
+			all.Add(x)
+			a.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := r.NormFloat64()*3 + 5
+			all.Add(x)
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Var(), all.Var(), 1e-9) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMergeEmptyCases(t *testing.T) {
+	var a, b Accumulator
+	a.Add(3)
+	before := a
+	a.Merge(&b) // merging empty is a no-op
+	if a != before {
+		t.Error("merge of empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestErrorSummaryMetrics(t *testing.T) {
+	var s ErrorSummary
+	// Estimates 110 and 90 for truth 100: e = ±0.1.
+	s.AddEstimate(110, 100)
+	s.AddEstimate(90, 100)
+	if !almostEqual(s.RRMSE(), 0.1, 1e-12) {
+		t.Errorf("RRMSE = %v, want 0.1", s.RRMSE())
+	}
+	if !almostEqual(s.L1(), 0.1, 1e-12) {
+		t.Errorf("L1 = %v, want 0.1", s.L1())
+	}
+	if !almostEqual(s.Bias(), 0, 1e-12) {
+		t.Errorf("Bias = %v, want 0", s.Bias())
+	}
+	if !almostEqual(s.QuantileAbs(1), 0.1, 1e-12) {
+		t.Errorf("QuantileAbs(1) = %v, want 0.1", s.QuantileAbs(1))
+	}
+	if got := s.ExceedFraction(0.05); got != 1 {
+		t.Errorf("ExceedFraction(0.05) = %v, want 1", got)
+	}
+	if got := s.ExceedFraction(0.15); got != 0 {
+		t.Errorf("ExceedFraction(0.15) = %v, want 0", got)
+	}
+	if s.N() != 2 {
+		t.Errorf("N = %d, want 2", s.N())
+	}
+}
+
+func TestErrorSummaryEmptyNaN(t *testing.T) {
+	var s ErrorSummary
+	for name, v := range map[string]float64{
+		"RRMSE": s.RRMSE(), "L1": s.L1(), "Bias": s.Bias(),
+		"QuantileAbs": s.QuantileAbs(0.5), "Exceed": s.ExceedFraction(0.1),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty summary = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestErrorSummaryPanicsOnBadTruth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n <= 0")
+		}
+	}()
+	var s ErrorSummary
+	s.AddEstimate(5, 0)
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.73); got != 42 {
+		t.Errorf("single-element quantile = %v, want 42", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Quantile(data, 0.5)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilesSorted(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	got := QuantilesSorted(data, 0, 0.5, 1)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("QuantilesSorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { QuantilesSorted([]float64{}, 0.5) },
+		func() { QuantilesSorted([]float64{1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileMedianProperty(t *testing.T) {
+	// Median of uniform [0,1) samples should be near 0.5.
+	r := xrand.New(9)
+	data := make([]float64, 10001)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	if med := Quantile(data, 0.5); math.Abs(med-0.5) > 0.02 {
+		t.Errorf("median of uniform = %v, want 0.5±0.02", med)
+	}
+}
+
+func TestLog2Histogram(t *testing.T) {
+	h := NewLog2Histogram()
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	wantCounts := map[int]int{0: 2, 1: 2, 2: 1, 9: 1}
+	for e, want := range wantCounts {
+		if got := h.Count(e); got != want {
+			t.Errorf("Count(%d) = %d, want %d", e, got, want)
+		}
+	}
+	exps, counts := h.Bins()
+	if len(exps) != 4 || exps[0] != 0 || exps[3] != 9 {
+		t.Errorf("Bins exps = %v", exps)
+	}
+	sum := h.Underflow()
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != h.Total() {
+		t.Errorf("bin counts sum to %d, want %d", sum, h.Total())
+	}
+}
+
+func TestRRMSEMatchesTheory(t *testing.T) {
+	// For estimates n*(1+eps*Z) with standard normal Z, RRMSE should
+	// converge to eps.
+	r := xrand.New(21)
+	var s ErrorSummary
+	const eps = 0.05
+	for i := 0; i < 100000; i++ {
+		s.AddEstimate(1000*(1+eps*r.NormFloat64()), 1000)
+	}
+	if got := s.RRMSE(); math.Abs(got-eps)/eps > 0.02 {
+		t.Errorf("RRMSE = %v, want %v±2%%", got, eps)
+	}
+	// L1 of a normal is eps*sqrt(2/pi).
+	wantL1 := eps * math.Sqrt(2/math.Pi)
+	if got := s.L1(); math.Abs(got-wantL1)/wantL1 > 0.02 {
+		t.Errorf("L1 = %v, want %v±2%%", got, wantL1)
+	}
+	// 99% quantile of |N(0,eps)| is eps*2.5758.
+	want99 := eps * 2.5758
+	if got := s.QuantileAbs(0.99); math.Abs(got-want99)/want99 > 0.05 {
+		t.Errorf("99%% quantile = %v, want %v±5%%", got, want99)
+	}
+}

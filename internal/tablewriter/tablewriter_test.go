@@ -1,0 +1,68 @@
+package tablewriter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	tbl := New("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// The value column must start at the same offset in both data rows.
+	a := strings.Index(lines[3], "1")
+	b := strings.Index(lines[4], "22")
+	if a != b {
+		t.Errorf("columns misaligned: %d vs %d\n%s", a, b, out)
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "z") // extends header
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extended cell lost:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := New("", "n", "err")
+	tbl.AddRowf(1000, 0.03345678)
+	out := tbl.String()
+	if !strings.Contains(out, "1000") || !strings.Contains(out, "0.03346") {
+		t.Errorf("formatted cells wrong:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := New("ignored", "k", "v")
+	tbl.AddRow(`plain`, `has,comma`)
+	tbl.AddRow(`has"quote`, "has\nnewline")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "k,v\n") {
+		t.Errorf("header line wrong: %s", out)
+	}
+}

@@ -1,0 +1,102 @@
+package uhash
+
+import "repro/internal/xrand"
+
+// mersenne61 is the Mersenne prime 2^61 − 1, the standard modulus for
+// Carter–Wegman hashing of 64-bit keys: reduction mod 2^61−1 needs only
+// shifts and adds, and the prime exceeds the key universe after folding.
+const mersenne61 = 1<<61 - 1
+
+// CarterWegman is the textbook 2-universal family h(x) = ((a·x + b) mod p),
+// evaluated twice with independent coefficients to produce a 128-bit output.
+// It matches the construction in the paper's Section 2.2 footnote. Byte
+// strings are first folded to a 64-bit key with a polynomial accumulator in
+// the same field, preserving (weaker) universality for multi-word keys.
+type CarterWegman struct {
+	a1, b1 uint64 // first output word
+	a2, b2 uint64 // second output word
+	c      uint64 // byte-string folding multiplier
+}
+
+// NewCarterWegman returns a CarterWegman hasher with coefficients derived
+// deterministically from seed. Coefficients are drawn uniformly from
+// [1, p−1] (a) and [0, p−1] (b).
+func NewCarterWegman(seed uint64) *CarterWegman {
+	r := xrand.New(seed ^ 0xc2b2ae3d27d4eb4f)
+	draw := func(lo uint64) uint64 { return lo + r.Uint64n(mersenne61-lo) }
+	return &CarterWegman{
+		a1: draw(1), b1: draw(0),
+		a2: draw(1), b2: draw(0),
+		c: draw(1),
+	}
+}
+
+// mulMod61 returns a*b mod 2^61−1 using a 128-bit intermediate product.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod 2^61−1) after
+	// splitting lo into its low 61 bits and high 3 bits.
+	res := hi<<3 | lo>>61
+	res += lo & mersenne61
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+func addMod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// eval computes (a*x + b) mod p, then stretches the 61-bit result to fill
+// 64 bits via a fixed bijective mixer so downstream consumers that use high
+// bits (bucket selection) see full-width uniformity.
+func cwEval(a, x, b uint64) uint64 {
+	return xrand.Mix64(addMod61(mulMod61(a, x%mersenne61), b))
+}
+
+// Sum128 implements Hasher by folding the bytes into the field and applying
+// the two affine maps.
+func (h *CarterWegman) Sum128(p []byte) (hi, lo uint64) {
+	// Polynomial fold: key = sum c^i * chunk_i mod p, with the length
+	// folded in last so that zero-padded extensions cannot collide.
+	n := uint64(len(p))
+	var key uint64
+	for len(p) >= 8 {
+		key = addMod61(mulMod61(key, h.c), le64(p)%mersenne61)
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		key = addMod61(mulMod61(key, h.c), lePartial(p)%mersenne61)
+	}
+	key = addMod61(mulMod61(key, h.c), (n+1)%mersenne61)
+	return cwEval(h.a1, key, h.b1), cwEval(h.a2, key, h.b2)
+}
+
+// Sum128Uint64 implements Hasher. It reproduces Sum128 of the key's 8-byte
+// little-endian encoding: one content fold followed by the length fold.
+func (h *CarterWegman) Sum128Uint64(x uint64) (hi, lo uint64) {
+	key := x % mersenne61
+	key = addMod61(mulMod61(key, h.c), 9) // length fold, n = 8
+	return cwEval(h.a1, key, h.b1), cwEval(h.a2, key, h.b2)
+}

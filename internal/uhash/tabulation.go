@@ -1,0 +1,52 @@
+package uhash
+
+import "repro/internal/xrand"
+
+// Tabulation implements simple tabulation hashing (Zobrist hashing): the
+// 64-bit key is split into 8 bytes, each byte indexes a table of random
+// 128-bit words, and the results are XORed. Simple tabulation is
+// 3-independent and behaves like a fully random function for most
+// algorithms (Pătraşcu & Thorup 2012), making it a strong reference point
+// for the hash-sensitivity ablation.
+//
+// Byte strings are first compressed to a 64-bit key with the Mixer
+// compression rounds; universality then applies to the compressed key.
+type Tabulation struct {
+	table [8][256][2]uint64
+	fold  Mixer
+}
+
+// NewTabulation returns a Tabulation hasher with tables filled from a
+// deterministic generator seeded by seed.
+func NewTabulation(seed uint64) *Tabulation {
+	r := xrand.New(seed ^ 0x9159015a3070dd17)
+	t := &Tabulation{fold: *NewMixer(seed ^ 0x152fecd8f70e5939)}
+	for i := range t.table {
+		for j := range t.table[i] {
+			t.table[i][j][0] = r.Uint64()
+			t.table[i][j][1] = r.Uint64()
+		}
+	}
+	return t
+}
+
+// Sum128Uint64 implements Hasher.
+func (t *Tabulation) Sum128Uint64(x uint64) (hi, lo uint64) {
+	for i := 0; i < 8; i++ {
+		e := &t.table[i][byte(x>>(8*uint(i)))]
+		hi ^= e[0]
+		lo ^= e[1]
+	}
+	return hi, lo
+}
+
+// Sum128 implements Hasher. Keys of exactly 8 bytes take the pure
+// tabulation path (so integer and byte workloads agree); longer or shorter
+// keys are folded to 64 bits first.
+func (t *Tabulation) Sum128(p []byte) (hi, lo uint64) {
+	if len(p) == 8 {
+		return t.Sum128Uint64(le64(p))
+	}
+	h, _ := t.fold.Sum128(p)
+	return t.Sum128Uint64(h)
+}

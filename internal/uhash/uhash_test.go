@@ -1,0 +1,266 @@
+package uhash
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// hashers returns one instance of every Hasher implementation under a
+// common seed, keyed by name.
+func hashers(seed uint64) map[string]Hasher {
+	return map[string]Hasher{
+		"mixer":        NewMixer(seed),
+		"carterwegman": NewCarterWegman(seed),
+		"tabulation":   NewTabulation(seed),
+	}
+}
+
+func TestUint64PathMatchesBytePath(t *testing.T) {
+	for name, h := range hashers(12345) {
+		f := func(x uint64) bool {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], x)
+			bh, bl := h.Sum128(buf[:])
+			uh, ul := h.Sum128Uint64(x)
+			return bh == uh && bl == ul
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: uint64 path disagrees with byte path: %v", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name := range hashers(7) {
+		a := hashers(7)[name]
+		b := hashers(7)[name]
+		data := []byte("the quick brown fox")
+		ah, al := a.Sum128(data)
+		bh, bl := b.Sum128(data)
+		if ah != bh || al != bl {
+			t.Errorf("%s: same seed produced different hashes", name)
+		}
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	for name := range hashers(0) {
+		a := hashers(1)[name]
+		b := hashers(2)[name]
+		same := 0
+		for i := uint64(0); i < 1000; i++ {
+			ah, _ := a.Sum128Uint64(i)
+			bh, _ := b.Sum128Uint64(i)
+			if ah == bh {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("%s: different seeds agreed on %d/1000 keys", name, same)
+		}
+	}
+}
+
+func TestNoCollisionsOnCounterKeys(t *testing.T) {
+	// Sequential integer keys are the worst case for weak hashes; the
+	// 128-bit output should see no collisions over 10^5 keys.
+	for name, h := range hashers(99) {
+		seen := make(map[[2]uint64]uint64, 100000)
+		for i := uint64(0); i < 100000; i++ {
+			hi, lo := h.Sum128Uint64(i)
+			k := [2]uint64{hi, lo}
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("%s: collision between keys %d and %d", name, prev, i)
+			}
+			seen[k] = i
+		}
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping a single input bit should flip ~half of the output bits.
+	// We average over keys and bit positions and require 32±4.
+	for name, h := range hashers(5) {
+		if name == "carterwegman" {
+			// 2-universal families do not guarantee avalanche per-bit; the
+			// final Mix64 stretch gives it to us anyway, but we hold it to
+			// the same standard to catch regressions.
+			_ = name
+		}
+		var total, count float64
+		for key := uint64(0); key < 200; key++ {
+			h0hi, h0lo := h.Sum128Uint64(key)
+			for b := uint(0); b < 64; b++ {
+				h1hi, h1lo := h.Sum128Uint64(key ^ 1<<b)
+				total += float64(bits.OnesCount64(h0hi^h1hi) + bits.OnesCount64(h0lo^h1lo))
+				count++
+			}
+		}
+		mean := total / count
+		if math.Abs(mean-64) > 4 {
+			t.Errorf("%s: mean avalanche %.2f bits of 128, want 64±4", name, mean)
+		}
+	}
+}
+
+func TestHighWordBucketUniformity(t *testing.T) {
+	// The sketches map the high word to buckets via multiply-shift; verify
+	// the resulting bucket distribution is uniform (chi-square, 16 cells).
+	for name, h := range hashers(11) {
+		const cells = 16
+		const n = 160000
+		var counts [cells]float64
+		for i := uint64(0); i < n; i++ {
+			hi, _ := h.Sum128Uint64(i)
+			counts[hi>>60]++
+		}
+		expected := float64(n) / cells
+		chi2 := 0.0
+		for _, c := range counts {
+			d := c - expected
+			chi2 += d * d / expected
+		}
+		// 99.9% quantile of chi2 with 15 dof is 37.7.
+		if chi2 > 40 {
+			t.Errorf("%s: bucket chi-square %.1f, want < 40", name, chi2)
+		}
+	}
+}
+
+func TestLowWordFractionUniformity(t *testing.T) {
+	// Sampling decisions compare the low word (as a fraction) against a
+	// rate p; verify P(low/2^64 < p) ≈ p over a range of rates.
+	for name, h := range hashers(13) {
+		for _, p := range []float64{0.9, 0.5, 0.1, 0.01} {
+			threshold := uint64(p * float64(1<<63) * 2)
+			const n = 200000
+			hits := 0
+			for i := uint64(0); i < n; i++ {
+				_, lo := h.Sum128Uint64(i)
+				if lo < threshold {
+					hits++
+				}
+			}
+			got := float64(hits) / n
+			tol := 4*math.Sqrt(p*(1-p)/n) + 1e-9
+			if math.Abs(got-p) > tol {
+				t.Errorf("%s: sampling rate %.3f realized as %.5f (tol %.5f)", name, p, got, tol)
+			}
+		}
+	}
+}
+
+func TestWordIndependence(t *testing.T) {
+	// Bucket word and sampling word must be (nearly) independent: the
+	// correlation of their top bits should vanish. This is the property
+	// Algorithm 2 needs for I_t ⊥ S_t.
+	for name, h := range hashers(17) {
+		const n = 200000
+		var both, first, second int
+		for i := uint64(0); i < n; i++ {
+			hi, lo := h.Sum128Uint64(i)
+			a := hi>>63 == 1
+			b := lo>>63 == 1
+			if a {
+				first++
+			}
+			if b {
+				second++
+			}
+			if a && b {
+				both++
+			}
+		}
+		pa := float64(first) / n
+		pb := float64(second) / n
+		pab := float64(both) / n
+		if math.Abs(pab-pa*pb) > 0.01 {
+			t.Errorf("%s: top bits dependent: P(ab)=%.4f, P(a)P(b)=%.4f", name, pab, pa*pb)
+		}
+	}
+}
+
+func TestByteStringLengths(t *testing.T) {
+	// All tail lengths must be handled and produce distinct hashes.
+	for name, h := range hashers(19) {
+		seen := make(map[[2]uint64]int)
+		buf := make([]byte, 64)
+		for i := range buf {
+			buf[i] = byte(i * 7)
+		}
+		for l := 0; l <= 64; l++ {
+			hi, lo := h.Sum128(buf[:l])
+			k := [2]uint64{hi, lo}
+			if prev, ok := seen[k]; ok {
+				t.Errorf("%s: lengths %d and %d collide", name, prev, l)
+			}
+			seen[k] = l
+		}
+	}
+}
+
+func TestLengthExtensionDistinct(t *testing.T) {
+	// "abc" and "abc\x00" must hash differently (zero-padding ambiguity).
+	for name, h := range hashers(23) {
+		a1, a2 := h.Sum128([]byte("abc"))
+		b1, b2 := h.Sum128([]byte("abc\x00"))
+		if a1 == b1 && a2 == b2 {
+			t.Errorf("%s: zero-extension collision", name)
+		}
+	}
+}
+
+func TestMulMod61(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= mersenne61
+		b %= mersenne61
+		got := mulMod61(a, b)
+		hi, lo := bits.Mul64(a, b)
+		want := bits.Rem64(hi, lo, mersenne61)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMixerUint64(b *testing.B) {
+	h := NewMixer(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink, _ = h.Sum128Uint64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMixerBytes64(b *testing.B) {
+	h := NewMixer(1)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink, _ = h.Sum128(buf)
+	}
+	_ = sink
+}
+
+func BenchmarkCarterWegmanUint64(b *testing.B) {
+	h := NewCarterWegman(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink, _ = h.Sum128Uint64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkTabulationUint64(b *testing.B) {
+	h := NewTabulation(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink, _ = h.Sum128Uint64(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,113 @@
+// Package virtualbitmap implements the virtual bitmap of Estan, Varghese &
+// Fisk (2006), reviewed in Section 2.2 of the S-bitmap paper: linear
+// counting applied to a Bernoulli-sampled substream.
+//
+// Each distinct item is first subjected to a hash-based coin flip with rate
+// r; survivors are counted by an ordinary linear-counting bitmap of m bits,
+// and the final estimate is scaled back by 1/r. A single sampling rate can
+// only cover a narrow cardinality band accurately — the limitation that
+// motivates both the multiresolution bitmap and, ultimately, the S-bitmap's
+// continuously adapting rates.
+package virtualbitmap
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/uhash"
+)
+
+// Sketch is a virtual bitmap. Not safe for concurrent use.
+type Sketch struct {
+	v         *bitvec.Vector
+	h         uhash.Hasher
+	rate      float64
+	threshold uint64 // sampling acceptance threshold on the low hash word
+}
+
+// New returns a virtual bitmap with m bits and sampling rate rate in
+// (0, 1], hashing with the default Mixer seeded by seed.
+func New(m int, rate float64, seed uint64) *Sketch {
+	return NewWithHasher(m, rate, uhash.NewMixer(seed))
+}
+
+// NewWithHasher returns a virtual bitmap with an explicit hash function.
+// It panics if m < 1 or rate is outside (0, 1].
+func NewWithHasher(m int, rate float64, h uhash.Hasher) *Sketch {
+	if m < 1 {
+		panic(fmt.Sprintf("virtualbitmap: bitmap size %d < 1", m))
+	}
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("virtualbitmap: sampling rate %g outside (0, 1]", rate))
+	}
+	var threshold uint64 = math.MaxUint64
+	if rate < 1 {
+		threshold = uint64(math.Ceil(rate * math.Pow(2, 64)))
+	}
+	return &Sketch{v: bitvec.New(m), h: h, rate: rate, threshold: threshold}
+}
+
+// RateFor returns the sampling rate that centers a virtual bitmap of m bits
+// on a target cardinality band [_, nMax]: the rate under which nMax sampled
+// items load the bitmap to the quasi-optimal linear-counting load ρ ≈ 0.7·m
+// set bits (load factor ln(m/(0.3m)) ≈ 1.2 distinct per bit).
+func RateFor(m int, nMax float64) float64 {
+	if nMax <= 0 {
+		return 1
+	}
+	r := 1.2 * float64(m) / nMax
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Add offers an item; it reports whether the underlying bitmap changed.
+func (s *Sketch) Add(item []byte) bool {
+	hi, lo := s.h.Sum128(item)
+	return s.insert(hi, lo)
+}
+
+// AddUint64 offers a 64-bit item.
+func (s *Sketch) AddUint64(item uint64) bool {
+	hi, lo := s.h.Sum128Uint64(item)
+	return s.insert(hi, lo)
+}
+
+func (s *Sketch) insert(bucketWord, sampleWord uint64) bool {
+	// The sampling decision is a pure function of the item's hash, so
+	// duplicates are consistently kept or dropped.
+	if sampleWord >= s.threshold {
+		return false
+	}
+	j, _ := bits.Mul64(bucketWord, uint64(s.v.Len()))
+	return s.v.Set(int(j))
+}
+
+// Rate returns the configured sampling rate.
+func (s *Sketch) Rate() float64 { return s.rate }
+
+// Ones returns the number of set buckets.
+func (s *Sketch) Ones() int { return s.v.Ones() }
+
+// Saturated reports whether the underlying bitmap is full.
+func (s *Sketch) Saturated() bool { return s.v.Zeros() == 0 }
+
+// Estimate returns n̂ = (m/r)·ln(m/Z), the linear-counting estimate of the
+// sampled substream scaled back by the sampling rate.
+func (s *Sketch) Estimate() float64 {
+	m := float64(s.v.Len())
+	z := float64(s.v.Zeros())
+	if z == 0 {
+		return m * math.Log(m) / s.rate
+	}
+	return m * math.Log(m/z) / s.rate
+}
+
+// SizeBits returns the summary memory footprint in bits.
+func (s *Sketch) SizeBits() int { return s.v.Len() }
+
+// Reset clears the sketch for reuse.
+func (s *Sketch) Reset() { s.v.Reset() }

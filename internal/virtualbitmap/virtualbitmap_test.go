@@ -1,0 +1,148 @@
+package virtualbitmap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFullRateEqualsLinearCounting(t *testing.T) {
+	// rate = 1 must reproduce plain linear counting semantics: estimate
+	// ≈ n at moderate load.
+	s := New(4096, 1.0, 7)
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		s.AddUint64(i)
+	}
+	if got := s.Estimate(); math.Abs(got-n)/n > 0.1 {
+		t.Errorf("rate-1 estimate = %g, want ≈ %d", got, n)
+	}
+	if s.Rate() != 1 {
+		t.Errorf("Rate = %g, want 1", s.Rate())
+	}
+}
+
+func TestSamplingConsistencyForDuplicates(t *testing.T) {
+	// A duplicate must never flip the sampling decision: adding the same
+	// item repeatedly changes at most one bucket.
+	s := New(512, 0.1, 3)
+	changed := 0
+	for i := 0; i < 1000; i++ {
+		if s.AddUint64(99999) {
+			changed++
+		}
+	}
+	if changed > 1 {
+		t.Errorf("duplicate item changed the bitmap %d times", changed)
+	}
+}
+
+func TestSampledAccuracyAtScale(t *testing.T) {
+	// A small bitmap with rate r covers cardinalities ≈ 1.2·m/r; verify
+	// the scaled estimator is unbiased there with reasonable error.
+	const m = 2048
+	const n = 100000
+	rate := RateFor(m, n)
+	var sum stats.ErrorSummary
+	const reps = 150
+	for rep := 0; rep < reps; rep++ {
+		s := New(m, rate, uint64(rep)+31)
+		base := uint64(rep) << 34
+		for i := 0; i < n; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), n)
+	}
+	if bias := sum.Bias(); math.Abs(bias) > 0.02 {
+		t.Errorf("bias = %.4f at designed scale, want ≈ 0", bias)
+	}
+	if rrmse := sum.RRMSE(); rrmse > 0.1 {
+		t.Errorf("RRMSE = %.4f at designed scale, want < 0.1", rrmse)
+	}
+}
+
+func TestNarrowRange(t *testing.T) {
+	// The motivating failure: a virtual bitmap dimensioned for n = 100000
+	// must be poor at n = 100 (relative granularity of one bucket is huge)
+	// — this is why mr-bitmap and S-bitmap exist.
+	const m = 2048
+	rate := RateFor(m, 100000)
+	var sum stats.ErrorSummary
+	for rep := 0; rep < 200; rep++ {
+		s := New(m, rate, uint64(rep)+77)
+		base := uint64(rep) << 34
+		for i := 0; i < 100; i++ {
+			s.AddUint64(base + uint64(i))
+		}
+		sum.AddEstimate(s.Estimate(), 100)
+	}
+	if rrmse := sum.RRMSE(); rrmse < 0.15 {
+		t.Errorf("RRMSE = %.4f at off-design scale; expected poor (> 0.15) — did the sampling break?", rrmse)
+	}
+}
+
+func TestRateFor(t *testing.T) {
+	if r := RateFor(1000, 100); r != 1 {
+		t.Errorf("small n should use rate 1, got %g", r)
+	}
+	if r := RateFor(1000, 1e7); r <= 0 || r >= 1 {
+		t.Errorf("large n rate = %g, want in (0,1)", r)
+	}
+	if r := RateFor(1000, 0); r != 1 {
+		t.Errorf("degenerate n rate = %g, want 1", r)
+	}
+}
+
+func TestSaturationCap(t *testing.T) {
+	s := New(64, 0.5, 5)
+	for i := uint64(0); i < 1e6; i++ {
+		s.AddUint64(i)
+	}
+	if !s.Saturated() {
+		t.Skip("bitmap did not saturate; sampling unlucky")
+	}
+	want := 64 * math.Log(64) / 0.5
+	if got := s.Estimate(); got != want {
+		t.Errorf("saturated estimate = %g, want cap %g", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 0.5, 1) },
+		func() { New(10, 0, 1) },
+		func() { New(10, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestResetAndSize(t *testing.T) {
+	s := New(128, 0.25, 1)
+	for i := uint64(0); i < 1000; i++ {
+		s.AddUint64(i)
+	}
+	if s.SizeBits() != 128 {
+		t.Errorf("SizeBits = %d, want 128", s.SizeBits())
+	}
+	s.Reset()
+	if s.Ones() != 0 || s.Estimate() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func BenchmarkAddUint64(b *testing.B) {
+	s := New(1<<14, 0.1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddUint64(uint64(i))
+	}
+}

@@ -1,0 +1,251 @@
+// Package xrand provides deterministic pseudo-random number generation for
+// the simulation and benchmark harnesses.
+//
+// The experiments in this repository must be reproducible bit-for-bit across
+// runs and platforms, so we implement our own generators rather than relying
+// on math/rand (whose default source and shuffle algorithms have changed
+// across Go releases). Two generators are provided:
+//
+//   - splitmix64: a tiny, fast generator used for seeding and for cheap
+//     one-shot mixing. Passes BigCrush when used as a stream.
+//   - xoshiro256**: the main workhorse generator (Blackman & Vigna 2018),
+//     with 256 bits of state and a 2^128 jump function that yields
+//     independent sub-streams for parallel replication.
+//
+// On top of the raw generators, the package offers the samplers the paper's
+// workloads need: uniform integers without modulo bias, floats in [0,1),
+// Zipf (rejection-inversion), log-normal, Pareto, Poisson, and exponential
+// variates, plus Fisher-Yates shuffling.
+package xrand
+
+import "math"
+
+// SplitMix64 is a 64-bit generator with 64 bits of state. It is primarily
+// used to expand a single user seed into the larger state vectors required
+// by xoshiro256**, and as a convenient stateless mixer.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a stateless bijective
+// mixing function: distinct inputs produce distinct outputs, and the output
+// bits are well distributed even for structured inputs such as counters.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, as recommended by
+// the xoshiro authors (consecutive integer seeds give uncorrelated streams).
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which is a
+	// fixed point of the xoshiro transition.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. Starting from a common seed, repeated jumps partition the period
+// into non-overlapping sub-sequences for parallel workers.
+func (r *Rand) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new generator whose stream is independent of r's future
+// output. It is implemented by copying the state and jumping the child,
+// then jumping the parent once more so neither overlaps the other.
+func (r *Rand) Split() *Rand {
+	child := &Rand{s: r.s}
+	child.Jump()
+	r.Jump()
+	r.Jump() // keep parent ahead of the child's 2^128 window
+	return child
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormal returns exp(mu + sigma*Z) for standard normal Z.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: xm * U^(-1/alpha).
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm * math.Pow(u, -1/alpha)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda the PTRS transformed-rejection
+// method would be overkill here, so it falls back to a normal approximation
+// with continuity correction, which is accurate to well under the noise
+// floor of our workloads for lambda > 64.
+func (r *Rand) Poisson(lambda float64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda <= 64 {
+		limit := math.Exp(-lambda)
+		p := 1.0
+		var k int64 = -1
+		for p > limit {
+			p *= r.Float64()
+			k++
+		}
+		return k
+	}
+	v := math.Floor(lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5)
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// Shuffle permutes the first n elements using swap, via Fisher-Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

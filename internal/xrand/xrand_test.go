@@ -1,0 +1,349 @@
+package xrand
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the public-domain splitmix64.c.
+	sm := NewSplitMix64(1234567)
+	got := []uint64{sm.Next(), sm.Next(), sm.Next()}
+	want := []uint64{6457827717110365317, 3203168211198807973, 9817491932198370423}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitmix64 output %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 must be injective; sample a window of structured inputs and
+	// verify no collisions, plus spot-check avalanche on one bit flip.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d both map to %d", prev, i, h)
+		}
+		seen[h] = i
+	}
+	flips := bits.OnesCount64(Mix64(42) ^ Mix64(43))
+	if flips < 16 || flips > 48 {
+		t.Errorf("avalanche of one-bit flip changed %d bits, want near 32", flips)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same-seed generators diverged at step %d: %d != %d", i, x, y)
+		}
+	}
+	c := New(100)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-seed generators matched %d/1000 outputs", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-square test over 10 cells; threshold is the 99.9% quantile of
+	// chi2 with 9 dof (27.88), padded for safety.
+	r := New(11)
+	const cells, samples = 10, 100000
+	var counts [cells]int
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(cells)]++
+	}
+	expected := float64(samples) / cells
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 30 {
+		t.Errorf("Uint64n chi-square = %.2f, want < 30 (counts %v)", chi2, counts)
+	}
+}
+
+func TestMul128MatchesBits(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %.4f, want 0.5±0.01", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %.4f, want 0±0.02", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %.4f, want 1±0.05", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %.4f, want 1±0.02", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(19)
+	for _, lambda := range []float64{0.5, 4, 32, 200} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		tol := 4 * math.Sqrt(lambda/n) // 4 sigma of the sample mean
+		if math.Abs(mean-lambda) > tol+0.51 {
+			t.Errorf("Poisson(%v) mean = %.3f, want %v±%.3f", lambda, mean, lambda, tol)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(23)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(3, 1.5)
+	}
+	// Median of LogNormal(mu, sigma) is exp(mu); use a selection-free
+	// estimate: count how many fall below exp(3).
+	below := 0
+	for _, v := range vals {
+		if v < math.Exp(3) {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("LogNormal median check: %.4f below exp(mu), want 0.5±0.01", frac)
+	}
+}
+
+func TestJumpDisjointStreams(t *testing.T) {
+	a := New(1)
+	b := New(1)
+	b.Jump()
+	matches := 0
+	for i := 0; i < 10000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("jumped stream matched base stream %d/10000 times", matches)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(42)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 10000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("split streams matched %d/10000 times", matches)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	// Each element should land in position 0 with probability 1/4.
+	r := New(29)
+	const trials = 40000
+	var counts [4]int
+	for i := 0; i < trials; i++ {
+		a := []int{0, 1, 2, 3}
+		r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a[0]]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("element %d at position 0 with frequency %.3f, want 0.25±0.02", v, frac)
+		}
+	}
+}
+
+func TestZipfExponentZeroIsUniform(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 0, 8)
+	var counts [8]int
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Errorf("Zipf(s=0) P(%d) = %.4f, want 0.125±0.01", k, frac)
+		}
+	}
+}
+
+func TestZipfFrequencyRatios(t *testing.T) {
+	// For Zipf with exponent s, P(0)/P(1) should be 2^s.
+	for _, s := range []float64{0.8, 1.2, 2.0} {
+		r := New(37)
+		z := NewZipf(r, s, 1000)
+		counts := make(map[uint64]int)
+		const n = 400000
+		for i := 0; i < n; i++ {
+			counts[z.Next()]++
+		}
+		ratio := float64(counts[0]) / float64(counts[1])
+		want := math.Pow(2, s)
+		if math.Abs(ratio-want)/want > 0.1 {
+			t.Errorf("Zipf(s=%v) P(0)/P(1) = %.3f, want %.3f±10%%", s, ratio, want)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 1.1, 50)
+	for i := 0; i < 20000; i++ {
+		if v := z.Next(); v >= 50 {
+			t.Fatalf("Zipf value %d out of range [0,50)", v)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero n", func() { NewZipf(r, 1, 0) }},
+		{"negative s", func() { NewZipf(r, -1, 10) }},
+		{"Uint64n zero", func() { r.Uint64n(0) }},
+		{"Intn zero", func() { r.Intn(0) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	// P(X > 2*xm) = 2^-alpha for Pareto(xm, alpha).
+	r := New(43)
+	const n = 200000
+	xm, alpha := 1.0, 1.5
+	over := 0
+	for i := 0; i < n; i++ {
+		if r.Pareto(xm, alpha) > 2*xm {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	want := math.Pow(2, -alpha)
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("Pareto tail P(X>2xm) = %.4f, want %.4f±0.01", frac, want)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1.2, 1<<20)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = z.Next()
+	}
+	_ = sink
+}

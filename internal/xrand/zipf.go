@@ -1,0 +1,91 @@
+package xrand
+
+import "math"
+
+// Zipf samples integers k in [0, n) with probability proportional to
+// (k+1)^(-s), s > 1 not required: any s >= 0 is supported (s = 0 is
+// uniform). It uses rejection-inversion (Hörmann & Derflinger 1996), the
+// same construction as math/rand's Zipf but reimplemented so that streams
+// are stable across Go releases and so that s values in (0, 1] — common for
+// flow-size popularity models — are accepted.
+type Zipf struct {
+	r            *Rand
+	s            float64
+	n            float64
+	oneMinusS    float64
+	hIntegralX1  float64
+	hIntegralNum float64
+	ss           float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s >= 0.
+// It panics if n <= 0 or s < 0.
+func NewZipf(r *Rand, s float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with n == 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with s < 0")
+	}
+	z := &Zipf{r: r, s: s, n: float64(n), oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(z.n + 0.5)
+	z.ss = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// h is the (unnormalized) density x^-s evaluated away from the lattice.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegral is an antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hIntegralInv is the inverse of hIntegral.
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a series fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next Zipf variate in [0, n).
+func (z *Zipf) Next() uint64 {
+	if z.s == 0 {
+		return z.r.Uint64n(uint64(z.n))
+	}
+	for {
+		u := z.hIntegralNum + z.r.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.ss || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sbitmap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.84134, 0.99998}, // Φ(1) ≈ 0.84134
+		{0.025, -1.959964},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Error("boundary quantiles should be NaN")
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for p := 0.01; p < 0.5; p += 0.017 {
+		a, b := normalQuantile(p), normalQuantile(1-p)
+		if math.Abs(a+b) > 1e-8 {
+			t.Errorf("asymmetry at p=%v: %v vs %v", p, a, b)
+		}
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Empirical coverage of the 95% interval should be ≈ 95%.
+	const n = 20000
+	const reps = 300
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		sk, err := New(1e5, 0.03, WithSeed(uint64(rep)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(rep) << 34
+		for i := 0; i < n; i++ {
+			sk.AddUint64(base + uint64(i))
+		}
+		iv := sk.ConfidenceInterval(0.95)
+		if iv.Lo <= n && float64(n) <= iv.Hi {
+			covered++
+		}
+		if iv.Lo > iv.Estimate || iv.Hi < iv.Estimate {
+			t.Fatalf("interval %v does not contain its own estimate", iv)
+		}
+	}
+	frac := float64(covered) / reps
+	// Binomial noise at 300 reps: sd ≈ 1.3%; allow [90%, 99.5%].
+	if frac < 0.90 || frac > 0.995 {
+		t.Errorf("95%% interval covered %.1f%% of runs", 100*frac)
+	}
+}
+
+func TestConfidenceIntervalClamps(t *testing.T) {
+	sk, err := New(1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty sketch: interval collapses at 0.
+	iv := sk.ConfidenceInterval(0.99)
+	if iv.Lo != 0 || iv.Estimate != 0 {
+		t.Errorf("empty interval = %v", iv)
+	}
+	// Saturated sketch: upper end pinned at N.
+	for i := uint64(0); i < 100000; i++ {
+		sk.AddUint64(i)
+	}
+	iv = sk.ConfidenceInterval(0.95)
+	if iv.Hi > sk.N() {
+		t.Errorf("saturated upper bound %v exceeds N=%v", iv.Hi, sk.N())
+	}
+	if !strings.Contains(iv.String(), "@95%") {
+		t.Errorf("String() = %q", iv.String())
+	}
+}
+
+func TestConfidenceIntervalPanics(t *testing.T) {
+	sk, _ := New(1000, 0.05)
+	for _, level := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("level %v: expected panic", level)
+				}
+			}()
+			sk.ConfidenceInterval(level)
+		}()
+	}
+}
+
+func TestIntervalWidthScalesWithLevel(t *testing.T) {
+	sk, _ := New(1e5, 0.02, WithSeed(3))
+	for i := uint64(0); i < 50000; i++ {
+		sk.AddUint64(i)
+	}
+	w90 := sk.ConfidenceInterval(0.90)
+	w99 := sk.ConfidenceInterval(0.99)
+	if w99.Hi-w99.Lo <= w90.Hi-w90.Lo {
+		t.Error("99% interval not wider than 90%")
+	}
+}

@@ -1,0 +1,140 @@
+package sbitmap
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/uhash"
+	"repro/internal/xrand"
+)
+
+// Sharded is a concurrency-friendly S-bitmap composed of independently
+// locked shards. Items are routed to shards by an independent hash of the
+// key, so the shards count DISJOINT sub-populations of the distinct items
+// and the total estimate is simply the sum of shard estimates — the one
+// aggregation an (otherwise unmergeable) S-bitmap supports, because it is
+// partitioning rather than union.
+//
+// Accuracy: with the distinct population split evenly across s shards,
+// each shard estimates ≈ n/s with RRMSE ε, and the shard errors are
+// independent, so the summed estimate has RRMSE ≈ ε/√s — sharding for
+// concurrency also buys accuracy, at s× the memory. Each shard is
+// dimensioned for the full N (any skew in the router stays safe), so a
+// Sharded costs s× the memory of a single sketch with the same (N, ε).
+type Sharded struct {
+	shards []shard
+	router *uhash.Mixer
+	n      float64
+	eps    float64
+}
+
+type shard struct {
+	mu sync.Mutex
+	sk *SBitmap
+	_  [40]byte // pad to reduce false sharing between adjacent locks
+}
+
+// NewSharded returns a sharded S-bitmap with the given shard count; each
+// shard is an independent S-bitmap for (n, eps). Shards must be ≥ 1.
+func NewSharded(shards int, n float64, eps float64, opts ...Option) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sbitmap: shard count %d < 1", shards)
+	}
+	o := buildOptions(opts)
+	s := &Sharded{
+		shards: make([]shard, shards),
+		// The router must be independent of the per-shard sketch hashes;
+		// derive it from a fixed tweak of the user seed.
+		router: uhash.NewMixer(xrand.Mix64(o.seed ^ 0x5ca1ab1e0ddba11)),
+		n:      n,
+		eps:    eps,
+	}
+	for i := range s.shards {
+		shardOpts := append([]Option{}, opts...)
+		shardOpts = append(shardOpts, WithSeed(o.seed+uint64(i)*0x9e3779b97f4a7c15))
+		sk, err := New(n, eps, shardOpts...)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].sk = sk
+	}
+	return s, nil
+}
+
+// route picks the shard for a routing hash word.
+func (s *Sharded) route(word uint64) *shard {
+	// Multiply-shift onto the shard count (any count, unbiased): the top
+	// 32 hash bits scaled into [0, shards).
+	idx := ((word >> 32) * uint64(len(s.shards))) >> 32
+	return &s.shards[idx]
+}
+
+// Add offers an item; safe for concurrent use.
+func (s *Sharded) Add(item []byte) bool {
+	hi, _ := s.router.Sum128(item)
+	sh := s.route(hi)
+	sh.mu.Lock()
+	changed := sh.sk.Add(item)
+	sh.mu.Unlock()
+	return changed
+}
+
+// AddUint64 offers a 64-bit item; safe for concurrent use.
+func (s *Sharded) AddUint64(item uint64) bool {
+	hi, _ := s.router.Sum128Uint64(item)
+	sh := s.route(hi)
+	sh.mu.Lock()
+	changed := sh.sk.AddUint64(item)
+	sh.mu.Unlock()
+	return changed
+}
+
+// AddString offers a string item; safe for concurrent use.
+func (s *Sharded) AddString(item string) bool { return s.Add([]byte(item)) }
+
+// Estimate returns the summed shard estimates; safe for concurrent use
+// (it locks shards one at a time, so it is a consistent snapshot only if
+// no concurrent Adds run — the usual monitoring pattern reads at interval
+// boundaries).
+func (s *Sharded) Estimate() float64 {
+	var total float64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.sk.Estimate()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Epsilon returns the approximate RRMSE of the summed estimate when the
+// population spreads across shards: ε/√shards. (For n much smaller than
+// the shard count the single-shard ε applies instead.)
+func (s *Sharded) Epsilon() float64 {
+	return s.eps / math.Sqrt(float64(len(s.shards)))
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// SizeBits returns the total bitmap memory across shards.
+func (s *Sharded) SizeBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].sk.SizeBits()
+	}
+	return total
+}
+
+// Reset clears every shard; not atomic with respect to concurrent Adds.
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.sk.Reset()
+		sh.mu.Unlock()
+	}
+}
+
+var _ Counter = (*Sharded)(nil)

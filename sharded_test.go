@@ -1,0 +1,154 @@
+package sbitmap
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s, err := NewSharded(4, 1e5, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Errorf("Shards = %d", s.Shards())
+	}
+	if s.Estimate() != 0 {
+		t.Error("empty sharded estimate nonzero")
+	}
+	single, _ := New(1e5, 0.03)
+	if s.SizeBits() != 4*single.SizeBits() {
+		t.Errorf("SizeBits = %d, want 4×%d", s.SizeBits(), single.SizeBits())
+	}
+	if got := s.Epsilon(); math.Abs(got-0.03/2) > 1e-12 {
+		t.Errorf("Epsilon = %v, want eps/sqrt(4)", got)
+	}
+	if _, err := NewSharded(0, 1e5, 0.03); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewSharded(2, 0, 0.03); err == nil {
+		t.Error("bad N accepted")
+	}
+}
+
+func TestShardedAccuracy(t *testing.T) {
+	const n = 50000
+	var se float64
+	const reps = 60
+	for rep := 0; rep < reps; rep++ {
+		s, err := NewSharded(8, 1e5, 0.05, WithSeed(uint64(rep)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := stream.NewDistinct(n, uint64(rep)*131+7)
+		stream.ForEach(st, func(x uint64) { s.AddUint64(x) })
+		d := s.Estimate()/n - 1
+		se += d * d
+	}
+	rrmse := math.Sqrt(se / reps)
+	// Sharding should beat the single-sketch ε (≈ ε/√8 ≈ 1.8%); allow a
+	// loose band for replication noise.
+	if rrmse > 0.035 {
+		t.Errorf("sharded RRMSE %.4f, want well under the single-sketch 0.05", rrmse)
+	}
+}
+
+func TestShardedDuplicateInvariance(t *testing.T) {
+	s, err := NewSharded(4, 1e4, 0.05, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		s.AddUint64(i)
+	}
+	before := s.Estimate()
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 2000; i++ {
+			if s.AddUint64(i) {
+				t.Fatal("duplicate changed a shard")
+			}
+		}
+	}
+	if s.Estimate() != before {
+		t.Error("duplicates changed the sharded estimate")
+	}
+}
+
+func TestShardedKeyPathsAgree(t *testing.T) {
+	a, _ := NewSharded(4, 1e4, 0.05, WithSeed(2))
+	b, _ := NewSharded(4, 1e4, 0.05, WithSeed(2))
+	words := []string{"x", "yy", "zzz", ""}
+	for _, w := range words {
+		a.AddString(w)
+		b.Add([]byte(w))
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("string and byte paths diverged")
+	}
+}
+
+func TestShardedConcurrentUse(t *testing.T) {
+	// Run with -race to make this meaningful: concurrent adds from many
+	// goroutines must be safe and lose nothing deterministically checkable
+	// (the final state must equal a sequential insert of the same set,
+	// since per-shard insertion order of DISJOINT keys is irrelevant only
+	// in distribution — so we check the estimate's accuracy instead).
+	const n = 40000
+	const workers = 8
+	s, err := NewSharded(8, 1e5, 0.05, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				s.AddUint64(uint64(i))
+				s.AddUint64(uint64(i)) // interleaved duplicates
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rel := math.Abs(s.Estimate()/n - 1); rel > 0.15 {
+		t.Errorf("concurrent estimate %.0f for n=%d", s.Estimate(), n)
+	}
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Error("reset did not clear shards")
+	}
+}
+
+func TestShardedRoutingDisjoint(t *testing.T) {
+	// The same key must always route to the same shard: adding one key
+	// twice changes the sketch at most once even across shard boundaries.
+	s, _ := NewSharded(16, 1e4, 0.05, WithSeed(7))
+	changes := 0
+	for i := 0; i < 100; i++ {
+		if s.AddUint64(42) {
+			changes++
+		}
+	}
+	if changes > 1 {
+		t.Errorf("single key changed state %d times — routing unstable", changes)
+	}
+}
+
+func BenchmarkShardedAddParallel(b *testing.B) {
+	s, err := NewSharded(8, 1e6, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			s.AddUint64(i)
+			i++
+		}
+	})
+}

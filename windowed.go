@@ -1,0 +1,133 @@
+package sbitmap
+
+import (
+	"fmt"
+	"time"
+)
+
+// Windowed counts distinct items per fixed time window — the paper's
+// network-monitoring deployment pattern (Section 7 estimates flows "every
+// minute interval"). It rotates between two S-bitmaps so that closing a
+// window and starting the next is O(1) bookkeeping plus a bitmap reset,
+// with no allocation after construction.
+//
+// The caller supplies timestamps (so replayed traces and simulations work
+// without wall-clock coupling); out-of-order items behind the current
+// window are counted into the current window rather than dropped, which
+// matches what a router does with late packets.
+//
+// Not safe for concurrent use; wrap in a mutex or shard by key.
+type Windowed struct {
+	width   time.Duration
+	current *SBitmap
+	spare   *SBitmap
+
+	started    bool
+	winStart   time.Time
+	lastClosed WindowResult
+	hasClosed  bool
+	onClose    func(WindowResult)
+}
+
+// WindowResult is the estimate of one completed window.
+type WindowResult struct {
+	Start    time.Time
+	End      time.Time
+	Estimate float64
+	// Saturated reports whether the window's sketch hit its configured
+	// bound N; the estimate is then a lower bound pinned near N.
+	Saturated bool
+}
+
+// NewWindowed returns a windowed counter with the given window width;
+// each window's sketch is dimensioned for (n, eps) like New. The optional
+// onClose callback fires synchronously whenever a window completes (from
+// within Add — keep it cheap).
+func NewWindowed(width time.Duration, n float64, eps float64, onClose func(WindowResult), opts ...Option) (*Windowed, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("sbitmap: window width %v must be positive", width)
+	}
+	cur, err := New(n, eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// The spare must use the same configuration AND hash seed so the
+	// estimate semantics are identical window to window.
+	spare, err := New(n, eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Windowed{width: width, current: cur, spare: spare, onClose: onClose}, nil
+}
+
+// Add offers an item observed at time ts; it reports whether the current
+// window's sketch changed. Crossing a window boundary closes the current
+// window first (possibly several empty windows if the stream has gaps).
+func (w *Windowed) Add(ts time.Time, item []byte) bool {
+	w.roll(ts)
+	return w.current.Add(item)
+}
+
+// AddUint64 offers a 64-bit item observed at ts.
+func (w *Windowed) AddUint64(ts time.Time, item uint64) bool {
+	w.roll(ts)
+	return w.current.AddUint64(item)
+}
+
+// AddString offers a string item observed at ts.
+func (w *Windowed) AddString(ts time.Time, item string) bool {
+	w.roll(ts)
+	return w.current.AddString(item)
+}
+
+// roll closes windows until ts falls inside the current one.
+func (w *Windowed) roll(ts time.Time) {
+	if !w.started {
+		w.started = true
+		w.winStart = ts.Truncate(w.width)
+		return
+	}
+	for !ts.Before(w.winStart.Add(w.width)) {
+		w.closeCurrent()
+	}
+}
+
+// closeCurrent finalizes the current window and opens the next.
+func (w *Windowed) closeCurrent() {
+	end := w.winStart.Add(w.width)
+	w.lastClosed = WindowResult{
+		Start:     w.winStart,
+		End:       end,
+		Estimate:  w.current.Estimate(),
+		Saturated: w.current.Saturated(),
+	}
+	w.hasClosed = true
+	if w.onClose != nil {
+		w.onClose(w.lastClosed)
+	}
+	// Swap in the (clean) spare and recycle the old bitmap.
+	w.current, w.spare = w.spare, w.current
+	w.spare.Reset()
+	w.winStart = end
+}
+
+// Flush force-closes the current window (e.g. at end of stream) and
+// returns its result. It is a no-op returning ok=false if no item has
+// been observed since the last close.
+func (w *Windowed) Flush() (WindowResult, bool) {
+	if !w.started {
+		return WindowResult{}, false
+	}
+	w.closeCurrent()
+	return w.lastClosed, true
+}
+
+// Current returns the running estimate of the open window.
+func (w *Windowed) Current() float64 { return w.current.Estimate() }
+
+// Last returns the most recently closed window's result; ok is false if
+// no window has closed yet.
+func (w *Windowed) Last() (WindowResult, bool) { return w.lastClosed, w.hasClosed }
+
+// SizeBits returns the total memory of both rotation sketches.
+func (w *Windowed) SizeBits() int { return w.current.SizeBits() + w.spare.SizeBits() }

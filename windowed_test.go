@@ -1,0 +1,194 @@
+package sbitmap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+
+// quickCheck runs testing/quick with a bounded iteration count.
+func quickCheck(f interface{}, max int) error {
+	return quick.Check(f, &quick.Config{MaxCount: max})
+}
+
+func TestWindowedBasicRotation(t *testing.T) {
+	var closed []WindowResult
+	w, err := NewWindowed(time.Minute, 1e5, 0.02, func(r WindowResult) {
+		closed = append(closed, r)
+	}, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minute 0: 1000 distinct; minute 1: 5000 distinct.
+	for i := uint64(0); i < 1000; i++ {
+		w.AddUint64(t0.Add(time.Duration(i)*50*time.Millisecond), i)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		w.AddUint64(t0.Add(time.Minute+time.Duration(i)*10*time.Millisecond), 1_000_000+i)
+	}
+	if len(closed) != 1 {
+		t.Fatalf("%d windows closed, want 1", len(closed))
+	}
+	if rel := math.Abs(closed[0].Estimate/1000 - 1); rel > 0.15 {
+		t.Errorf("window 0 estimate %.0f, want ≈ 1000", closed[0].Estimate)
+	}
+	if !closed[0].Start.Equal(t0) || !closed[0].End.Equal(t0.Add(time.Minute)) {
+		t.Errorf("window bounds %v..%v", closed[0].Start, closed[0].End)
+	}
+	if rel := math.Abs(w.Current()/5000 - 1); rel > 0.15 {
+		t.Errorf("current estimate %.0f, want ≈ 5000", w.Current())
+	}
+	last, ok := w.Last()
+	if !ok || last != closed[0] {
+		t.Error("Last() disagrees with callback")
+	}
+}
+
+func TestWindowedGapClosesEmptyWindows(t *testing.T) {
+	count := 0
+	w, err := NewWindowed(time.Minute, 1e4, 0.05, func(WindowResult) { count++ }, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddUint64(t0, 1)
+	// Jump 10 minutes: 10 windows close (9 of them empty).
+	w.AddUint64(t0.Add(10*time.Minute), 2)
+	if count != 10 {
+		t.Errorf("%d windows closed across the gap, want 10", count)
+	}
+}
+
+func TestWindowedFlush(t *testing.T) {
+	w, err := NewWindowed(time.Minute, 1e4, 0.05, nil, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Flush(); ok {
+		t.Error("flush of never-started window returned ok")
+	}
+	for i := uint64(0); i < 500; i++ {
+		w.AddUint64(t0, i)
+	}
+	r, ok := w.Flush()
+	if !ok {
+		t.Fatal("flush returned !ok")
+	}
+	if math.Abs(r.Estimate/500-1) > 0.2 {
+		t.Errorf("flushed estimate %.0f, want ≈ 500", r.Estimate)
+	}
+	if w.Current() != 0 {
+		t.Error("window not clean after flush")
+	}
+}
+
+func TestWindowedRotationReusesCleanSketch(t *testing.T) {
+	// Two windows with identical contents must give identical estimates
+	// (the rotation swaps fully reset sketches with the same seed).
+	var ests []float64
+	w, err := NewWindowed(time.Minute, 1e4, 0.03, func(r WindowResult) {
+		ests = append(ests, r.Estimate)
+	}, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for win := 0; win < 4; win++ {
+		base := t0.Add(time.Duration(win) * time.Minute)
+		for i := uint64(0); i < 800; i++ {
+			w.AddUint64(base, i) // same items every window
+		}
+	}
+	w.Flush()
+	for i := 1; i < len(ests); i++ {
+		if ests[i] != ests[0] {
+			t.Fatalf("window %d estimate %v differs from window 0's %v on identical input", i, ests[i], ests[0])
+		}
+	}
+}
+
+func TestWindowedLateItemsCounted(t *testing.T) {
+	w, err := NewWindowed(time.Minute, 1e4, 0.05, nil, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddUint64(t0.Add(30*time.Second), 1)
+	// An item time-stamped before the window start must still count (into
+	// the current window) rather than panic or be dropped.
+	w.AddUint64(t0.Add(-5*time.Second), 2)
+	if w.Current() < 1.5 {
+		t.Errorf("late item dropped: current estimate %v", w.Current())
+	}
+}
+
+func TestWindowedStringAndByteKeys(t *testing.T) {
+	w, err := NewWindowed(time.Minute, 1e4, 0.05, nil, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddString(t0, "key")
+	w.Add(t0, []byte("key"))
+	if w.Current() > 1.5 {
+		t.Errorf("string/byte duplicate double-counted: %v", w.Current())
+	}
+}
+
+func TestWindowedSaturationFlag(t *testing.T) {
+	w, err := NewWindowed(time.Minute, 100, 0.09, nil, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100000; i++ {
+		w.AddUint64(t0, i)
+	}
+	r, ok := w.Flush()
+	if !ok || !r.Saturated {
+		t.Errorf("overloaded window not flagged saturated: %+v", r)
+	}
+}
+
+func TestWindowedMatchesFreshSketchProperty(t *testing.T) {
+	// Property: each closed window's estimate equals a fresh sketch (same
+	// config and seed) fed the same per-window items — rotation must be
+	// perfectly stateless across windows.
+	f := func(seed uint64, sizes [3]uint8) bool {
+		w, err := NewWindowed(time.Minute, 1e4, 0.05, nil, WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		for win, sz := range sizes {
+			base := t0.Add(time.Duration(win) * time.Minute)
+			n := int(sz)%200 + 1
+			fresh, err := New(1e4, 0.05, WithSeed(seed))
+			if err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				item := uint64(win)<<32 | uint64(i) | seed<<40
+				w.AddUint64(base, item)
+				fresh.AddUint64(item)
+			}
+			if w.Current() != fresh.Estimate() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 40); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowedErrors(t *testing.T) {
+	if _, err := NewWindowed(0, 1e4, 0.05, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewWindowed(time.Minute, 0, 0.05, nil); err == nil {
+		t.Error("bad N accepted")
+	}
+	w, _ := NewWindowed(time.Minute, 1e4, 0.05, nil)
+	if w.SizeBits() <= 0 {
+		t.Error("SizeBits not positive")
+	}
+}
