@@ -15,17 +15,15 @@ import (
 // behind the same Counter interface and all dimensioned from a shared
 // (memory budget, cardinality bound) vocabulary so that like-for-like
 // comparisons — the whole point of the paper's Section 6 — are one
-// constructor call away.
+// constructor call away. Each constructor is the imperative twin of a
+// Spec: NewHyperLogLog(mbits) ≡ Spec{Kind: KindHLL, MemoryBits: mbits}.New().
 
 // NewLinearCounting returns a Whang et al. (1990) linear-counting sketch
 // with mbits bits. Accurate while n stays well below mbits·ln(mbits);
 // memory scales almost linearly with the counted cardinality.
 func NewLinearCounting(mbits int, opts ...Option) Counter {
 	o := buildOptions(opts)
-	if o.mkHasher != nil {
-		return linearcount.NewWithHasher(mbits, o.mkHasher(o.seed))
-	}
-	return linearcount.New(mbits, o.seed)
+	return &LinearCounting{sk: linearcount.NewWithHasher(mbits, o.newHasher())}
 }
 
 // NewVirtualBitmap returns an Estan et al. (2006) virtual bitmap: linear
@@ -34,10 +32,7 @@ func NewLinearCounting(mbits int, opts ...Option) Counter {
 func NewVirtualBitmap(mbits int, n float64, opts ...Option) Counter {
 	o := buildOptions(opts)
 	rate := virtualbitmap.RateFor(mbits, n)
-	if o.mkHasher != nil {
-		return virtualbitmap.NewWithHasher(mbits, rate, o.mkHasher(o.seed))
-	}
-	return virtualbitmap.New(mbits, rate, o.seed)
+	return &VirtualBitmap{sk: virtualbitmap.NewWithHasher(mbits, rate, o.newHasher())}
 }
 
 // NewMRBitmap returns an Estan et al. (2006) multiresolution bitmap
@@ -48,56 +43,37 @@ func NewMRBitmap(mbits int, n float64, opts ...Option) (Counter, error) {
 		return nil, err
 	}
 	o := buildOptions(opts)
-	if o.mkHasher != nil {
-		return mrbitmap.NewWithHasher(cfg, o.mkHasher(o.seed)), nil
-	}
-	return mrbitmap.New(cfg, o.seed), nil
+	return &MRBitmap{sk: mrbitmap.NewWithHasher(cfg, o.newHasher())}, nil
 }
 
 // NewFM returns a Flajolet–Martin (1985) PCSA sketch fitted into mbits
 // bits (32-bit registers).
 func NewFM(mbits int, opts ...Option) Counter {
 	o := buildOptions(opts)
-	m := fm.MemoryForBits(mbits)
-	if o.mkHasher != nil {
-		return fm.NewWithHasher(m, o.mkHasher(o.seed))
-	}
-	return fm.New(m, o.seed)
+	return &FM{sk: fm.NewWithHasher(fm.MemoryForBits(mbits), o.newHasher())}
 }
 
 // NewLogLog returns a Durand–Flajolet (2003) LogLog counter fitted into
 // mbits bits (5-bit registers, power-of-two register count).
 func NewLogLog(mbits int, opts ...Option) Counter {
 	o := buildOptions(opts)
-	k := loglog.KBitsForBudget(mbits)
-	if o.mkHasher != nil {
-		return loglog.NewWithHasher(k, o.mkHasher(o.seed))
-	}
-	return loglog.New(k, o.seed)
+	return &LogLog{sk: loglog.NewWithHasher(loglog.KBitsForBudget(mbits), o.newHasher())}
 }
 
 // NewHyperLogLog returns a Flajolet et al. (2007) HyperLogLog counter
 // fitted into mbits bits (5-bit registers, power-of-two register count).
 func NewHyperLogLog(mbits int, opts ...Option) Counter {
 	o := buildOptions(opts)
-	k := hyperloglog.KBitsForBudget(mbits)
-	if o.mkHasher != nil {
-		return hyperloglog.NewWithHasher(k, o.mkHasher(o.seed))
-	}
-	return hyperloglog.New(k, o.seed)
+	return &HyperLogLog{sk: hyperloglog.NewWithHasher(hyperloglog.KBitsForBudget(mbits), o.newHasher())}
 }
 
 // NewAdaptiveSampler returns Wegman's adaptive sampler (Flajolet 1990)
 // fitted into mbits bits (64 bits per retained hash).
 func NewAdaptiveSampler(mbits int, opts ...Option) Counter {
 	o := buildOptions(opts)
-	c := adaptive.CapacityForBits(mbits)
-	if o.mkHasher != nil {
-		return adaptive.NewSamplerWithHasher(c, o.mkHasher(o.seed))
-	}
-	return adaptive.NewSampler(c, o.seed)
+	return &AdaptiveSampler{sk: adaptive.NewSamplerWithHasher(adaptive.CapacityForBits(mbits), o.newHasher())}
 }
 
 // NewExact returns the exact (linear-memory) distinct counter, useful as
 // ground truth in tests and examples.
-func NewExact() Counter { return exact.New() }
+func NewExact() Counter { return &Exact{c: exact.New()} }

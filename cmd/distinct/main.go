@@ -7,10 +7,14 @@
 //	distinct -algo hll -mbits 4096 < ids.txt                     # HyperLogLog
 //	distinct -algo exact < ids.txt                               # ground truth
 //	distinct -algo all -n 1e7 -eps 0.02 < ids.txt                # compare everything
+//	distinct -spec "sbitmap:n=1e6,eps=0.01" < ids.txt            # spec string
+//	distinct -spec "hll:mbits=4096;loglog:mbits=4096" < ids.txt  # several specs
 //
 // The -n / -eps pair dimensions the S-bitmap (and sizes budget-based
-// competitors via -mbits); output reports the estimate and the memory the
-// summary consumed.
+// competitors via -mbits); -spec takes the same semicolon-separated spec
+// strings accepted everywhere else in the module (sbitmap.ParseSpec), so a
+// config file, a CLI flag, and a library call all share one vocabulary.
+// Output reports the estimate and the memory the summary consumed.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	sbitmap "repro"
 )
@@ -25,6 +30,7 @@ import (
 func main() {
 	var (
 		algo  = flag.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
+		spec  = flag.String("spec", "", "semicolon-separated sketch specs (overrides -algo), e.g. 'sbitmap:n=1e6,eps=0.01'")
 		n     = flag.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
 		eps   = flag.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
 		mbits = flag.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
@@ -32,17 +38,21 @@ func main() {
 	)
 	flag.Parse()
 
-	budget := *mbits
-	if budget == 0 {
-		var err error
-		budget, err = sbitmap.Memory(*n, *eps)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
-			os.Exit(1)
+	var counters []namedCounter
+	var err error
+	if *spec != "" {
+		counters, err = buildSpecCounters(*spec)
+	} else {
+		budget := *mbits
+		if budget == 0 {
+			budget, err = sbitmap.Memory(*n, *eps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
+				os.Exit(1)
+			}
 		}
+		counters, err = buildCounters(*algo, *n, *eps, budget, *seed)
 	}
-
-	counters, err := buildCounters(*algo, *n, *eps, budget, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
 		os.Exit(1)
@@ -63,9 +73,15 @@ func main() {
 	}
 
 	fmt.Printf("%d lines read\n", lines)
+	width := 10
 	for _, c := range counters {
-		fmt.Printf("%-10s estimate %12.0f   memory %8d bits\n",
-			c.name, c.counter.Estimate(), c.counter.SizeBits())
+		if len(c.name) > width {
+			width = len(c.name)
+		}
+	}
+	for _, c := range counters {
+		fmt.Printf("%-*s estimate %12.0f   memory %8d bits\n",
+			width, c.name, c.counter.Estimate(), c.counter.SizeBits())
 	}
 }
 
@@ -74,30 +90,58 @@ type namedCounter struct {
 	counter sbitmap.Counter
 }
 
+// buildSpecCounters constructs one counter per semicolon-separated spec.
+func buildSpecCounters(specs string) ([]namedCounter, error) {
+	var out []namedCounter
+	for _, s := range strings.Split(specs, ";") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		sp, err := sbitmap.ParseSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		c, err := sp.New()
+		if err != nil {
+			return nil, err
+		}
+		// The full spec string distinguishes multiple specs of one kind
+		// (e.g. two hll budgets side by side).
+		out = append(out, namedCounter{sp.String(), c})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -spec")
+	}
+	return out, nil
+}
+
+// buildCounters maps the classic flag vocabulary onto Specs: the S-bitmap
+// is dimensioned from (n, eps), every budget-based competitor from the
+// shared budget, and mr/vb additionally from n — the paper's like-for-like
+// accounting.
 func buildCounters(algo string, n, eps float64, budget int, seed uint64) ([]namedCounter, error) {
 	mk := func(name string) (namedCounter, error) {
-		switch name {
-		case "sbitmap":
-			s, err := sbitmap.New(n, eps, sbitmap.WithSeed(seed))
-			return namedCounter{name, s}, err
-		case "hll":
-			return namedCounter{name, sbitmap.NewHyperLogLog(budget, sbitmap.WithSeed(seed))}, nil
-		case "loglog":
-			return namedCounter{name, sbitmap.NewLogLog(budget, sbitmap.WithSeed(seed))}, nil
-		case "mr":
-			c, err := sbitmap.NewMRBitmap(budget, n, sbitmap.WithSeed(seed))
-			return namedCounter{name, c}, err
-		case "lc":
-			return namedCounter{name, sbitmap.NewLinearCounting(budget, sbitmap.WithSeed(seed))}, nil
-		case "fm":
-			return namedCounter{name, sbitmap.NewFM(budget, sbitmap.WithSeed(seed))}, nil
-		case "adaptive":
-			return namedCounter{name, sbitmap.NewAdaptiveSampler(budget, sbitmap.WithSeed(seed))}, nil
-		case "exact":
-			return namedCounter{name, sbitmap.NewExact()}, nil
-		default:
+		kind, err := sbitmap.ParseKind(name)
+		if err != nil {
 			return namedCounter{}, fmt.Errorf("unknown algorithm %q", name)
 		}
+		spec := sbitmap.Spec{Kind: kind, Seed: seed}
+		switch kind {
+		case sbitmap.KindSBitmap:
+			spec.N, spec.Eps = n, eps
+		case sbitmap.KindMRBitmap, sbitmap.KindVirtualBitmap:
+			spec.N, spec.MemoryBits = n, budget
+		case sbitmap.KindExact:
+			// no dimensioning
+		default:
+			spec.MemoryBits = budget
+		}
+		c, err := spec.New()
+		if err != nil {
+			return namedCounter{}, err
+		}
+		return namedCounter{name, c}, nil
 	}
 	if algo == "all" {
 		var out []namedCounter

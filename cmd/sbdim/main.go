@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	sbdim -n 1e6 -eps 0.01        # memory needed for ±1% up to 1M
-//	sbdim -n 1e6 -m 8000          # error achievable with 8000 bits
-//	sbdim -m 30000 -c 10000       # range reachable with m bits at C
+//	sbdim -n 1e6 -eps 0.01                  # memory needed for ±1% up to 1M
+//	sbdim -n 1e6 -m 8000                    # error achievable with 8000 bits
+//	sbdim -m 30000 -c 10000                 # range reachable with m bits at C
+//	sbdim -spec "sbitmap:n=1e6,eps=0.01"    # same vocabulary as the library
+//
+// The output includes the canonical spec string for the solved
+// configuration, ready to paste into distinct -spec, a config file, or
+// sbitmap.ParseSpec.
 package main
 
 import (
@@ -16,23 +21,38 @@ import (
 	"math"
 	"os"
 
+	sbitmap "repro"
 	"repro/internal/core"
 	"repro/internal/hyperloglog"
 )
 
 func main() {
 	var (
-		n   = flag.Float64("n", 0, "cardinality upper bound N")
-		m   = flag.Int("m", 0, "memory budget in bits")
-		eps = flag.Float64("eps", 0, "target RRMSE (e.g. 0.01)")
-		c   = flag.Float64("c", 0, "accuracy parameter C (alternative to -eps)")
+		n    = flag.Float64("n", 0, "cardinality upper bound N")
+		m    = flag.Int("m", 0, "memory budget in bits")
+		eps  = flag.Float64("eps", 0, "target RRMSE (e.g. 0.01)")
+		c    = flag.Float64("c", 0, "accuracy parameter C (alternative to -eps)")
+		spec = flag.String("spec", "", "sbitmap spec string (alternative to the numeric flags)")
 	)
 	flag.Parse()
+
+	if *spec != "" {
+		sp, err := sbitmap.ParseSpec(*spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbdim: %v\n", err)
+			os.Exit(1)
+		}
+		if sp.Kind != sbitmap.KindSBitmap {
+			fmt.Fprintf(os.Stderr, "sbdim: -spec must name an sbitmap, got %s\n", sp.Kind)
+			os.Exit(1)
+		}
+		*n, *m, *eps, *c = sp.N, sp.MemoryBits, sp.Eps, 0
+	}
 
 	cfg, err := solve(*n, *m, *eps, *c)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbdim: %v\n", err)
-		fmt.Fprintln(os.Stderr, "provide two of: -n, -m, -eps (or -c)")
+		fmt.Fprintln(os.Stderr, "provide two of: -n, -m, -eps (or -c), or a -spec")
 		os.Exit(1)
 	}
 
@@ -42,7 +62,8 @@ func main() {
 	fmt.Printf("  C        %.4f\n", cfg.C())
 	fmt.Printf("  epsilon  %.4f (%.2f%% RRMSE, scale-invariant over [1, N])\n", cfg.Epsilon(), 100*cfg.Epsilon())
 	fmt.Printf("  r        %.8f\n", cfg.R())
-	fmt.Printf("  k*       %d (truncation point m - C/2)\n\n", cfg.KMax())
+	fmt.Printf("  k*       %d (truncation point m - C/2)\n", cfg.KMax())
+	fmt.Printf("  spec     %s\n\n", sbitmap.Spec{Kind: sbitmap.KindSBitmap, N: cfg.N(), MemoryBits: cfg.M()})
 
 	fmt.Printf("sampling-rate schedule p_k = m/(m+1-k)·(1+1/C)·r^k:\n")
 	for _, k := range []int{1, cfg.KMax() / 4, cfg.KMax() / 2, 3 * cfg.KMax() / 4, cfg.KMax()} {

@@ -34,26 +34,35 @@ func main() {
 	fmt.Printf("shared memory budget: %d bits (what the S-bitmap needs for N=%.0e, ε=%.0f%%)\n\n",
 		budget, nBound, 100*eps)
 
-	sb, err := sbitmap.New(nBound, eps)
-	if err != nil {
-		log.Fatal(err)
+	// Every sketch is named in the module's shared spec vocabulary — the
+	// same strings a config file or `distinct -spec` would carry.
+	specs := []struct {
+		name string
+		spec string
+	}{
+		{"S-bitmap", fmt.Sprintf("sbitmap:n=%g,eps=%g", float64(nBound), eps)},
+		{"HyperLogLog", fmt.Sprintf("hll:mbits=%d", budget)},
+		{"LogLog", fmt.Sprintf("loglog:mbits=%d", budget)},
+		{"mr-bitmap", fmt.Sprintf("mr:n=%g,mbits=%d", float64(nBound), budget)},
+		{"linear counting", fmt.Sprintf("lc:mbits=%d", budget)},
+		{"FM/PCSA", fmt.Sprintf("fm:mbits=%d", budget)},
+		{"adaptive sampling", fmt.Sprintf("adaptive:mbits=%d", budget)},
+		{"exact (reference)", "exact"},
 	}
-	mr, err := sbitmap.NewMRBitmap(budget, nBound)
-	if err != nil {
-		log.Fatal(err)
-	}
-	counters := []struct {
+	counters := make([]struct {
 		name string
 		c    sbitmap.Counter
-	}{
-		{"S-bitmap", sb},
-		{"HyperLogLog", sbitmap.NewHyperLogLog(budget)},
-		{"LogLog", sbitmap.NewLogLog(budget)},
-		{"mr-bitmap", mr},
-		{"linear counting", sbitmap.NewLinearCounting(budget)},
-		{"FM/PCSA", sbitmap.NewFM(budget)},
-		{"adaptive sampling", sbitmap.NewAdaptiveSampler(budget)},
-		{"exact (reference)", sbitmap.NewExact()},
+	}, len(specs))
+	for i, s := range specs {
+		spec, err := sbitmap.ParseSpec(s.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := spec.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		counters[i].name, counters[i].c = s.name, c
 	}
 
 	// One pass over a duplicated, shuffled stream feeds every sketch.

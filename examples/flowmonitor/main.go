@@ -22,12 +22,13 @@ import (
 
 func main() {
 	// The paper's Section 7.1 configuration: N = 10^6, m = 8000 bits,
-	// expected std dev ≈ 2.2%.
-	const mbits = 8000
-	sk, err := sbitmap.NewWithMemory(mbits, 1e6)
+	// expected std dev ≈ 2.2% — written as the spec string an ops config
+	// would carry, then narrowed to the concrete type for Epsilon().
+	counter, err := sbitmap.MustSpec("sbitmap:n=1e6,mbits=8000").New()
 	if err != nil {
 		log.Fatal(err)
 	}
+	sk := counter.(*sbitmap.SBitmap)
 	fmt.Printf("per-minute flow counter: %d bits, ±%.1f%% — monitoring link 1 during the outbreak\n\n",
 		sk.SizeBits(), 100*sk.Epsilon())
 

@@ -52,6 +52,19 @@ func main() {
 	}
 	fmt.Printf("serialized to %d bytes; restored estimate %.0f\n", len(blob), restored.Estimate())
 
+	// The same sketch is one declarative Spec away — the form CLI flags
+	// and config files use. ParseSpec/String round-trip, and every Kind
+	// (hll, loglog, fm, linearcount, ...) constructs the same way.
+	spec, err := sbitmap.ParseSpec("sbitmap:n=1e6,eps=0.01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromSpec, err := spec.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec %q builds the same sketch: %d bits\n", spec, fromSpec.SizeBits())
+
 	// String keys work too (and AddString avoids the []byte conversion).
 	words, _ := sbitmap.New(1e4, 0.03)
 	for _, w := range []string{"to", "be", "or", "not", "to", "be"} {

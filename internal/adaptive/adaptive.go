@@ -16,9 +16,11 @@
 package adaptive
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/uhash"
 )
@@ -66,6 +68,13 @@ func (s *Sampler) Add(item []byte) bool {
 // AddUint64 offers a 64-bit item.
 func (s *Sampler) AddUint64(item uint64) bool {
 	hi, lo := s.h.Sum128Uint64(item)
+	return s.insert(hi, lo)
+}
+
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sampler) AddString(item string) bool {
+	hi, lo := s.h.Sum128String(item)
 	return s.insert(hi, lo)
 }
 
@@ -120,4 +129,72 @@ func (s *Sampler) SizeBits() int { return s.capacity * 64 }
 func (s *Sampler) Reset() {
 	s.depth = 0
 	s.set = make(map[uint64]struct{}, s.capacity)
+}
+
+// MarshalBinary serializes the capacity, depth, and retained hashes (sorted
+// for a deterministic encoding). The hash function is not serialized; pass
+// the original hasher to Unmarshal to continue counting.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	hashes := make([]uint64, 0, len(s.set))
+	for h := range s.set {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	buf := make([]byte, 0, 16+8*len(hashes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.capacity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.depth))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(hashes)))
+	for _, h := range hashes {
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs the sampler in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("adaptive: truncated serialization")
+	}
+	capacity := int(binary.LittleEndian.Uint32(data))
+	depth := uint(binary.LittleEndian.Uint32(data[4:]))
+	count := int(binary.LittleEndian.Uint64(data[8:]))
+	if capacity < 2 {
+		return fmt.Errorf("adaptive: serialized capacity %d < 2", capacity)
+	}
+	if depth > 64 {
+		return fmt.Errorf("adaptive: serialized depth %d exceeds the 64-bit hash width", depth)
+	}
+	if count < 0 || count > capacity {
+		return fmt.Errorf("adaptive: serialized sample size %d exceeds capacity %d", count, capacity)
+	}
+	if len(data) != 16+8*count {
+		return fmt.Errorf("adaptive: sample body %d bytes, want %d", len(data)-16, 8*count)
+	}
+	set := make(map[uint64]struct{}, capacity)
+	for i := 0; i < count; i++ {
+		h := binary.LittleEndian.Uint64(data[16+8*i:])
+		if uint(bits.LeadingZeros64(h)) < depth {
+			return fmt.Errorf("adaptive: retained hash %#x violates depth %d", h, depth)
+		}
+		set[h] = struct{}{}
+	}
+	if len(set) != count {
+		return fmt.Errorf("adaptive: serialized sample contains duplicates")
+	}
+	s.capacity, s.depth, s.set = capacity, depth, set
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sampler from MarshalBinary output, hashing with
+// h (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sampler, error) {
+	s := &Sampler{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

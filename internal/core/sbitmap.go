@@ -124,9 +124,10 @@ func (s *Sketch) AddUint64(item uint64) bool {
 }
 
 // AddString offers a string item; it hashes identically to Add of the
-// string's bytes.
+// string's bytes but avoids the []byte conversion.
 func (s *Sketch) AddString(item string) bool {
-	return s.Add([]byte(item))
+	hi, lo := s.h.Sum128String(item)
+	return s.insert(hi, lo)
 }
 
 // insert implements lines 3–9 of Algorithm 2 given the two hash words.
@@ -182,6 +183,11 @@ func (s *Sketch) Reset() {
 
 // sketchMagic guards serialized sketches against format drift.
 const sketchMagic = uint32(0x5b17ab01)
+
+// LegacySketchMagic is the magic word of the original bare serialization
+// format, exported so the root package's universal Unmarshal can keep
+// accepting pre-envelope S-bitmap snapshots.
+const LegacySketchMagic = sketchMagic
 
 // MarshalBinary serializes the sketch state together with the (m, N, C)
 // triple so a receiver can rebuild the estimator tables. The hash seed is

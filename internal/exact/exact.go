@@ -5,7 +5,13 @@
 // sketches' footprints.
 package exact
 
-import "repro/internal/uhash"
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/uhash"
+)
 
 // Counter counts distinct items exactly by retaining a 128-bit fingerprint
 // of every distinct item seen. (Fingerprinting keeps memory bounded by the
@@ -33,9 +39,11 @@ func (c *Counter) AddUint64(item uint64) bool {
 	return c.insert(hi, lo)
 }
 
-// AddString offers a string item.
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
 func (c *Counter) AddString(item string) bool {
-	return c.Add([]byte(item))
+	hi, lo := c.h.Sum128String(item)
+	return c.insert(hi, lo)
 }
 
 func (c *Counter) insert(hi, lo uint64) bool {
@@ -61,3 +69,67 @@ func (c *Counter) SizeBits() int { return 128 * len(c.set) }
 
 // Reset clears the counter for reuse.
 func (c *Counter) Reset() { c.set = make(map[[2]uint64]struct{}) }
+
+// MarshalBinary serializes the fingerprint set (sorted for a deterministic
+// encoding). The counter's internal hash seed is fixed, so a restored
+// counter keeps deduplicating consistently.
+func (c *Counter) MarshalBinary() ([]byte, error) {
+	fps := make([][2]uint64, 0, len(c.set))
+	for k := range c.set {
+		fps = append(fps, k)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		if fps[i][0] != fps[j][0] {
+			return fps[i][0] < fps[j][0]
+		}
+		return fps[i][1] < fps[j][1]
+	})
+	buf := make([]byte, 0, 8+16*len(fps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(fps)))
+	for _, k := range fps {
+		buf = binary.LittleEndian.AppendUint64(buf, k[0])
+		buf = binary.LittleEndian.AppendUint64(buf, k[1])
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs the counter in place from MarshalBinary
+// output.
+func (c *Counter) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("exact: truncated serialization")
+	}
+	count64 := binary.LittleEndian.Uint64(data)
+	// Bound count by the actual body size before any multiplication so a
+	// corrupt header cannot overflow the length check.
+	if count64 > uint64(len(data)-8)/16 {
+		return fmt.Errorf("exact: fingerprint count %d exceeds body of %d bytes", count64, len(data)-8)
+	}
+	count := int(count64)
+	if len(data) != 8+16*count {
+		return fmt.Errorf("exact: fingerprint body %d bytes, want %d", len(data)-8, 16*count)
+	}
+	set := make(map[[2]uint64]struct{}, count)
+	for i := 0; i < count; i++ {
+		hi := binary.LittleEndian.Uint64(data[8+16*i:])
+		lo := binary.LittleEndian.Uint64(data[16+16*i:])
+		set[[2]uint64{hi, lo}] = struct{}{}
+	}
+	if len(set) != count {
+		return fmt.Errorf("exact: serialized fingerprints contain duplicates")
+	}
+	c.set = set
+	if c.h == nil {
+		c.h = uhash.NewMixer(0x0ddba11)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a counter from MarshalBinary output.
+func Unmarshal(data []byte) (*Counter, error) {
+	c := &Counter{h: uhash.NewMixer(0x0ddba11)}
+	if err := c.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -15,6 +15,7 @@
 package fm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -74,6 +75,13 @@ func (s *Sketch) AddUint64(item uint64) bool {
 	return s.insert(hi, lo)
 }
 
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sketch) AddString(item string) bool {
+	hi, lo := s.h.Sum128String(item)
+	return s.insert(hi, lo)
+}
+
 func (s *Sketch) insert(bucketWord, geoWord uint64) bool {
 	j, _ := bits.Mul64(bucketWord, uint64(len(s.reg)))
 	// g = index of lowest set bit of the geometric word: P(g = k) = 2^-(k+1).
@@ -119,6 +127,51 @@ func (s *Sketch) Merge(o *Sketch) error {
 
 // SizeBits returns the summary memory footprint in bits (32 per register).
 func (s *Sketch) SizeBits() int { return len(s.reg) * registerBits }
+
+// MarshalBinary serializes the register bitmaps. The hash function is not
+// serialized; pass the original hasher to Unmarshal to continue counting.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*len(s.reg))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.reg)))
+	for _, r := range s.reg {
+		buf = binary.LittleEndian.AppendUint32(buf, r)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs the sketch in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("fm: truncated serialization")
+	}
+	m := int(binary.LittleEndian.Uint32(data))
+	if m < 1 || m > 1<<28 {
+		return fmt.Errorf("fm: implausible register count %d", m)
+	}
+	if len(data) != 4+4*m {
+		return fmt.Errorf("fm: register body %d bytes, want %d", len(data)-4, 4*m)
+	}
+	reg := make([]uint32, m)
+	for j := range reg {
+		reg[j] = binary.LittleEndian.Uint32(data[4+4*j:])
+	}
+	s.reg = reg
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sketch from MarshalBinary output, hashing with h
+// (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sketch, error) {
+	s := &Sketch{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() {

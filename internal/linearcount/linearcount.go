@@ -82,6 +82,13 @@ func (s *Sketch) AddUint64(item uint64) bool {
 	return s.insert(hi)
 }
 
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sketch) AddString(item string) bool {
+	hi, _ := s.h.Sum128String(item)
+	return s.insert(hi)
+}
+
 func (s *Sketch) insert(word uint64) bool {
 	j, _ := bits.Mul64(word, uint64(s.v.Len()))
 	return s.v.Set(int(j))
@@ -132,3 +139,34 @@ func (s *Sketch) SizeBits() int { return s.v.Len() }
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() { s.v.Reset() }
+
+// MarshalBinary serializes the bitmap. The hash function is not serialized;
+// pass the original hasher to Unmarshal to continue counting.
+func (s *Sketch) MarshalBinary() ([]byte, error) { return s.v.MarshalBinary() }
+
+// UnmarshalBinary reconstructs the sketch in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	v := &bitvec.Vector{}
+	if err := v.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("linearcount: %w", err)
+	}
+	if v.Len() < 1 {
+		return fmt.Errorf("linearcount: serialized bitmap is empty")
+	}
+	s.v = v
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sketch from MarshalBinary output, hashing with h
+// (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sketch, error) {
+	s := &Sketch{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

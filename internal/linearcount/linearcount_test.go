@@ -38,9 +38,6 @@ func TestDuplicatesIgnored(t *testing.T) {
 	}
 }
 
-// AddString is not part of the package API; define locally for the test.
-func (s *Sketch) AddString(x string) bool { return s.Add([]byte(x)) }
-
 func TestAccuracyAtModerateLoad(t *testing.T) {
 	// At load n/m = 1 linear counting should achieve roughly the Whang
 	// standard error; verify RRMSE across replicates is within 2× theory.

@@ -84,6 +84,13 @@ func (s *Sketch) AddUint64(item uint64) bool {
 	return s.insert(hi, lo)
 }
 
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sketch) AddString(item string) bool {
+	hi, lo := s.h.Sum128String(item)
+	return s.insert(hi, lo)
+}
+
 func (s *Sketch) insert(bucketWord, geoWord uint64) bool {
 	j := bucketWord >> (64 - s.kBits)
 	// rank = 1 + number of leading zeros of the remaining bits: the
@@ -132,6 +139,54 @@ func (s *Sketch) Merge(o *Sketch) error {
 
 // SizeBits returns the summary memory footprint in bits (5 per register).
 func (s *Sketch) SizeBits() int { return len(s.reg) * RegisterBits }
+
+// MarshalBinary serializes the register array (one byte per register,
+// preceded by the register-count exponent). The hash function is not
+// serialized; pass the original hasher to Unmarshal to continue counting.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 1+len(s.reg))
+	buf = append(buf, byte(s.kBits))
+	buf = append(buf, s.reg...)
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs the sketch in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("loglog: truncated serialization")
+	}
+	kBits := uint(data[0])
+	if kBits < 2 || kBits > 24 {
+		return fmt.Errorf("loglog: serialized kBits = %d outside [2, 24]", kBits)
+	}
+	m := 1 << kBits
+	if len(data) != 1+m {
+		return fmt.Errorf("loglog: register body %d bytes, want %d", len(data)-1, m)
+	}
+	for _, r := range data[1:] {
+		if r > maxRank {
+			return fmt.Errorf("loglog: serialized rank %d exceeds register width", r)
+		}
+	}
+	s.reg = append([]uint8(nil), data[1:]...)
+	s.kBits = kBits
+	s.alpha = Alpha(m)
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sketch from MarshalBinary output, hashing with h
+// (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sketch, error) {
+	s := &Sketch{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() {

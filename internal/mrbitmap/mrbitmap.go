@@ -33,6 +33,7 @@
 package mrbitmap
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -154,6 +155,13 @@ func (s *Sketch) AddUint64(item uint64) bool {
 	return s.insert(hi, lo)
 }
 
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sketch) AddString(item string) bool {
+	hi, lo := s.h.Sum128String(item)
+	return s.insert(hi, lo)
+}
+
 func (s *Sketch) insert(bucketWord, compWord uint64) bool {
 	// Component k with probability 2^−k via trailing zeros; overflow mass
 	// goes to the last component, giving it rate 2^−(c−1).
@@ -219,4 +227,95 @@ func (s *Sketch) Reset() {
 	for _, comp := range s.comps {
 		comp.Reset()
 	}
+}
+
+// Merge ORs another multiresolution bitmap into s, component by component;
+// the result summarizes the union of the two streams. The layouts must be
+// identical (and the hash functions equal for the union semantics to hold —
+// each component is just a hash-indexed bitmap, so the union of two
+// same-layout sketches over the same hash is the sketch of the union).
+func (s *Sketch) Merge(o *Sketch) error {
+	if len(s.comps) != len(o.comps) {
+		return fmt.Errorf("mrbitmap: merge of %d-component sketch with %d-component sketch", len(s.comps), len(o.comps))
+	}
+	for k := range s.comps {
+		if s.comps[k].Len() != o.comps[k].Len() {
+			return fmt.Errorf("mrbitmap: merge with mismatched component %d (%d vs %d bits)", k+1, s.comps[k].Len(), o.comps[k].Len())
+		}
+	}
+	for k := range s.comps {
+		if err := s.comps[k].UnionWith(o.comps[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalBinary serializes the component layout and bitmaps. The hash
+// function is not serialized; pass the original hasher to Unmarshal to
+// continue counting.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(s.comps)))
+	for _, comp := range s.comps {
+		cb, err := comp.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cb)))
+		buf = append(buf, cb...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs the sketch in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("mrbitmap: truncated serialization")
+	}
+	c := int(binary.LittleEndian.Uint32(data))
+	if c < 1 || c > 64 {
+		return fmt.Errorf("mrbitmap: implausible component count %d", c)
+	}
+	data = data[4:]
+	comps := make([]*bitvec.Vector, c)
+	nBits := 0
+	for k := 0; k < c; k++ {
+		if len(data) < 4 {
+			return fmt.Errorf("mrbitmap: truncated component %d header", k+1)
+		}
+		clen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if clen > len(data) {
+			return fmt.Errorf("mrbitmap: truncated component %d body", k+1)
+		}
+		v := &bitvec.Vector{}
+		if err := v.UnmarshalBinary(data[:clen]); err != nil {
+			return fmt.Errorf("mrbitmap: component %d: %w", k+1, err)
+		}
+		if v.Len() < 1 {
+			return fmt.Errorf("mrbitmap: component %d is empty", k+1)
+		}
+		comps[k] = v
+		nBits += v.Len()
+		data = data[clen:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("mrbitmap: %d trailing bytes after last component", len(data))
+	}
+	s.comps, s.nBits = comps, nBits
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sketch from MarshalBinary output, hashing with h
+// (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sketch, error) {
+	s := &Sketch{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

@@ -93,6 +93,12 @@ func (h *CarterWegman) Sum128(p []byte) (hi, lo uint64) {
 	return cwEval(h.a1, key, h.b1), cwEval(h.a2, key, h.b2)
 }
 
+// Sum128String implements Hasher: identical to Sum128 of the string's
+// bytes, without the conversion allocation.
+func (h *CarterWegman) Sum128String(s string) (hi, lo uint64) {
+	return h.Sum128(stringBytes(s))
+}
+
 // Sum128Uint64 implements Hasher. It reproduces Sum128 of the key's 8-byte
 // little-endian encoding: one content fold followed by the length fold.
 func (h *CarterWegman) Sum128Uint64(x uint64) (hi, lo uint64) {

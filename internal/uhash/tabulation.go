@@ -50,3 +50,9 @@ func (t *Tabulation) Sum128(p []byte) (hi, lo uint64) {
 	h, _ := t.fold.Sum128(p)
 	return t.Sum128Uint64(h)
 }
+
+// Sum128String implements Hasher: identical to Sum128 of the string's
+// bytes, without the conversion allocation.
+func (t *Tabulation) Sum128String(s string) (hi, lo uint64) {
+	return t.Sum128(stringBytes(s))
+}

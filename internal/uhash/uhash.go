@@ -22,7 +22,11 @@
 // integer IDs).
 package uhash
 
-import "repro/internal/xrand"
+import (
+	"unsafe"
+
+	"repro/internal/xrand"
+)
 
 // Hasher is a seeded 128-bit hash function. The two output words must be
 // (approximately) independent and uniform; sketches use the high word for
@@ -35,6 +39,21 @@ type Hasher interface {
 	// 8-byte little-endian encoding so that integer and byte workloads are
 	// interchangeable.
 	Sum128Uint64(x uint64) (hi, lo uint64)
+	// Sum128String hashes a string key. It must equal Sum128 of the
+	// string's bytes so that string and byte workloads are interchangeable,
+	// but without forcing callers through a []byte conversion (and its
+	// allocation) on the hot path.
+	Sum128String(s string) (hi, lo uint64)
+}
+
+// stringBytes reinterprets a string's backing array as a byte slice without
+// copying. The slice must not be mutated or retained past the call — the
+// hashers only read it.
+func stringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
 // Mixer is the default Hasher: a 64-bit multiply-rotate compression over
@@ -83,6 +102,12 @@ func (m *Mixer) Sum128(p []byte) (hi, lo uint64) {
 	}
 	h1, h2 = mixRound(h1, h2, k1, k2)
 	return mixFinal(h1, h2, uint64(n))
+}
+
+// Sum128String implements Hasher: it hashes identically to Sum128 of the
+// string's bytes, with no conversion allocation.
+func (m *Mixer) Sum128String(s string) (hi, lo uint64) {
+	return m.Sum128(stringBytes(s))
 }
 
 // Sum128Uint64 implements Hasher. It is the fast path for integer keys and

@@ -11,6 +11,7 @@
 package virtualbitmap
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -42,11 +43,17 @@ func NewWithHasher(m int, rate float64, h uhash.Hasher) *Sketch {
 	if rate <= 0 || rate > 1 {
 		panic(fmt.Sprintf("virtualbitmap: sampling rate %g outside (0, 1]", rate))
 	}
-	var threshold uint64 = math.MaxUint64
-	if rate < 1 {
-		threshold = uint64(math.Ceil(rate * math.Pow(2, 64)))
+	return &Sketch{v: bitvec.New(m), h: h, rate: rate, threshold: thresholdFor(rate)}
+}
+
+// thresholdFor converts a sampling rate to the acceptance threshold on the
+// 64-bit sampling word; shared by construction and deserialization so the
+// sampling rule cannot drift between the two.
+func thresholdFor(rate float64) uint64 {
+	if rate >= 1 {
+		return math.MaxUint64
 	}
-	return &Sketch{v: bitvec.New(m), h: h, rate: rate, threshold: threshold}
+	return uint64(math.Ceil(rate * math.Pow(2, 64)))
 }
 
 // RateFor returns the sampling rate that centers a virtual bitmap of m bits
@@ -73,6 +80,13 @@ func (s *Sketch) Add(item []byte) bool {
 // AddUint64 offers a 64-bit item.
 func (s *Sketch) AddUint64(item uint64) bool {
 	hi, lo := s.h.Sum128Uint64(item)
+	return s.insert(hi, lo)
+}
+
+// AddString offers a string item; it hashes identically to Add of the
+// string's bytes but avoids the []byte conversion.
+func (s *Sketch) AddString(item string) bool {
+	hi, lo := s.h.Sum128String(item)
 	return s.insert(hi, lo)
 }
 
@@ -111,3 +125,50 @@ func (s *Sketch) SizeBits() int { return s.v.Len() }
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() { s.v.Reset() }
+
+// MarshalBinary serializes the sampling rate and the bitmap. The hash
+// function is not serialized; pass the original hasher to Unmarshal to
+// continue counting.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	vb, err := s.v.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 8+len(vb))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.rate))
+	return append(buf, vb...), nil
+}
+
+// UnmarshalBinary reconstructs the sketch in place from MarshalBinary
+// output. A nil hasher field is replaced by the default Mixer with seed 1.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("virtualbitmap: truncated serialization")
+	}
+	rate := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	if !(rate > 0 && rate <= 1) {
+		return fmt.Errorf("virtualbitmap: serialized rate %g outside (0, 1]", rate)
+	}
+	v := &bitvec.Vector{}
+	if err := v.UnmarshalBinary(data[8:]); err != nil {
+		return fmt.Errorf("virtualbitmap: %w", err)
+	}
+	if v.Len() < 1 {
+		return fmt.Errorf("virtualbitmap: serialized bitmap is empty")
+	}
+	s.v, s.rate, s.threshold = v, rate, thresholdFor(rate)
+	if s.h == nil {
+		s.h = uhash.NewMixer(1)
+	}
+	return nil
+}
+
+// Unmarshal reconstructs a sketch from MarshalBinary output, hashing with h
+// (nil selects the default Mixer with seed 1).
+func Unmarshal(data []byte, h uhash.Hasher) (*Sketch, error) {
+	s := &Sketch{h: h}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

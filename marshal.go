@@ -1,0 +1,216 @@
+package sbitmap
+
+import (
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fm"
+	"repro/internal/hyperloglog"
+	"repro/internal/linearcount"
+	"repro/internal/loglog"
+	"repro/internal/mrbitmap"
+	"repro/internal/virtualbitmap"
+)
+
+// Universal serialization: every counter in the module marshals into one
+// tagged, versioned envelope so snapshots can be written, shipped across
+// processes, and restored without knowing the sketch kind in advance.
+//
+// Envelope layout (little-endian):
+//
+//	[0:4]  magic "SKZ1" (0x315a4b53)
+//	[4]    format version (currently 1)
+//	[5]    kind code (see kindCodes)
+//	[6:]   kind-specific payload (the internal sketch serialization)
+//
+// Hash seeds are never serialized (the paper's memory accounting excludes
+// them, and a snapshot should not leak key material): a restored counter
+// estimates correctly immediately, but to CONTINUE counting it must be
+// restored with the same seed/hash options it was built with.
+
+// envMagic tags serialized counters ("SKZ1" read as little-endian uint32).
+const envMagic = uint32(0x315a4b53)
+
+// envVersion is the current envelope format version.
+const envVersion = 1
+
+// kindCodes maps each serializable kind to its envelope tag. Codes are
+// append-only: never renumber, or old snapshots become unreadable.
+var kindCodes = map[Kind]byte{
+	KindSBitmap:       1,
+	KindHLL:           2,
+	KindLogLog:        3,
+	KindFM:            4,
+	KindLinearCount:   5,
+	KindVirtualBitmap: 6,
+	KindMRBitmap:      7,
+	KindAdaptive:      8,
+	KindExact:         9,
+	kindSharded:       10,
+	kindWindowed:      11,
+}
+
+// kindSharded and kindWindowed tag decorator snapshots; they are not Spec
+// kinds (decorators are built around a Spec or factory, not from one).
+const (
+	kindSharded  Kind = "sharded"
+	kindWindowed Kind = "windowed"
+)
+
+func kindFromCode(code byte) (Kind, bool) {
+	for k, c := range kindCodes {
+		if c == code {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// appendEnvelope frames a payload with the magic/version/kind header.
+func appendEnvelope(kind Kind, payload []byte) []byte {
+	buf := make([]byte, 0, 6+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, envMagic)
+	buf = append(buf, envVersion, kindCodes[kind])
+	return append(buf, payload...)
+}
+
+// marshalEnvelope serializes an inner sketch and frames it.
+func marshalEnvelope(kind Kind, inner encoding.BinaryMarshaler) ([]byte, error) {
+	payload, err := inner.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return appendEnvelope(kind, payload), nil
+}
+
+// openEnvelope validates the header and returns the kind and payload.
+func openEnvelope(data []byte) (Kind, []byte, error) {
+	if len(data) < 6 {
+		return "", nil, errors.New("sbitmap: truncated serialization envelope")
+	}
+	if binary.LittleEndian.Uint32(data) != envMagic {
+		return "", nil, errors.New("sbitmap: bad serialization magic (not a counter snapshot)")
+	}
+	if v := data[4]; v != envVersion {
+		return "", nil, fmt.Errorf("sbitmap: unsupported snapshot version %d (this build reads version %d)", v, envVersion)
+	}
+	kind, ok := kindFromCode(data[5])
+	if !ok {
+		return "", nil, fmt.Errorf("sbitmap: unknown snapshot kind code %d", data[5])
+	}
+	return kind, data[6:], nil
+}
+
+// payloadOfKind opens an envelope and checks it carries the expected kind.
+func payloadOfKind(data []byte, want Kind) ([]byte, error) {
+	kind, payload, err := openEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != want {
+		return nil, fmt.Errorf("sbitmap: snapshot holds a %s counter, not %s", kind, want)
+	}
+	return payload, nil
+}
+
+// Marshal serializes any counter of this module — base sketches, Sharded,
+// or Windowed — into the tagged envelope. It fails for counters that do not
+// implement encoding.BinaryMarshaler (e.g. a user-supplied Counter handed
+// to a decorator factory).
+func Marshal(c any) ([]byte, error) {
+	m, ok := c.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("sbitmap: %T does not support serialization", c)
+	}
+	return m.MarshalBinary()
+}
+
+// Unmarshal reconstructs a counter serialized by Marshal (or any
+// MarshalBinary method in this module), dispatching on the envelope's kind
+// tag. The restored counter estimates immediately; pass the original
+// WithSeed / hash-family options to continue adding items. Windowed
+// snapshots are not Counters — restore those with UnmarshalWindowed.
+//
+// For backward compatibility, pre-envelope S-bitmap snapshots (raw
+// internal/core format) are still accepted.
+func Unmarshal(data []byte, opts ...Option) (Counter, error) {
+	o := buildOptions(opts)
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == core.LegacySketchMagic {
+		sk, err := core.UnmarshalSketch(data, core.WithHasher(o.newHasher()))
+		if err != nil {
+			return nil, fmt.Errorf("sbitmap: %w", err)
+		}
+		return &SBitmap{sk: sk}, nil
+	}
+	kind, payload, err := openEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindSBitmap:
+		sk, err := core.UnmarshalSketch(payload, core.WithHasher(o.newHasher()))
+		if err != nil {
+			return nil, fmt.Errorf("sbitmap: %w", err)
+		}
+		return &SBitmap{sk: sk}, nil
+	case KindHLL:
+		sk, err := hyperloglog.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &HyperLogLog{sk: sk}, nil
+	case KindLogLog:
+		sk, err := loglog.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &LogLog{sk: sk}, nil
+	case KindFM:
+		sk, err := fm.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &FM{sk: sk}, nil
+	case KindLinearCount:
+		sk, err := linearcount.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &LinearCounting{sk: sk}, nil
+	case KindVirtualBitmap:
+		sk, err := virtualbitmap.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &VirtualBitmap{sk: sk}, nil
+	case KindMRBitmap:
+		sk, err := mrbitmap.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &MRBitmap{sk: sk}, nil
+	case KindAdaptive:
+		sk, err := adaptive.Unmarshal(payload, o.newHasher())
+		if err != nil {
+			return nil, err
+		}
+		return &AdaptiveSampler{sk: sk}, nil
+	case KindExact:
+		c, err := exact.Unmarshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Exact{c: c}, nil
+	case kindSharded:
+		return unmarshalSharded(payload, opts)
+	case kindWindowed:
+		return nil, errors.New("sbitmap: snapshot holds a Windowed counter; restore it with UnmarshalWindowed")
+	default:
+		return nil, fmt.Errorf("sbitmap: no decoder for snapshot kind %s", kind)
+	}
+}

@@ -60,12 +60,21 @@ import (
 // Counter is the interface shared by every distinct-counting sketch in
 // this module: offer items, read an estimate, account memory.
 //
-// Add and AddUint64 report whether the sketch's state changed. AddUint64
-// is always equivalent to Add of the item's 8-byte little-endian encoding,
-// but allocation-free. Implementations are not safe for concurrent use.
+// The Add methods report whether the sketch's state changed. AddUint64 is
+// always equivalent to Add of the item's 8-byte little-endian encoding,
+// and AddString to Add of the string's bytes — both allocation-free.
+// Implementations are not safe for concurrent use unless documented
+// otherwise (Sharded is).
+//
+// Counters may additionally implement Mergeable (union aggregation),
+// Saturable (operating-range overflow reporting), and
+// encoding.BinaryMarshaler/BinaryUnmarshaler (snapshots via Marshal /
+// Unmarshal); every counter constructed by this module's constructors or
+// by Spec.New implements the marshaling interfaces.
 type Counter interface {
 	Add(item []byte) bool
 	AddUint64(item uint64) bool
+	AddString(item string) bool
 	Estimate() float64
 	SizeBits() int
 	Reset()
@@ -149,6 +158,15 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// newHasher materializes the options' hash configuration: the selected
+// family seeded with the selected seed, defaulting to the Mixer.
+func (o options) newHasher() uhash.Hasher {
+	if o.mkHasher != nil {
+		return o.mkHasher(o.seed)
+	}
+	return uhash.NewMixer(o.seed)
+}
+
 func fromConfig(cfg *core.Config, opts ...Option) (*SBitmap, error) {
 	o := buildOptions(opts)
 	coreOpts := []core.Option{core.WithResolution(o.dBits)}
@@ -192,24 +210,26 @@ func (s *SBitmap) Saturated() bool { return s.sk.Saturated() }
 // Reset clears the sketch for reuse under the same configuration.
 func (s *SBitmap) Reset() { s.sk.Reset() }
 
-// MarshalBinary serializes the sketch (configuration + bitmap). The hash
-// seed is not serialized; a deserialized sketch can Estimate immediately
-// but needs the original seed (via Unmarshal's options) to keep counting.
-func (s *SBitmap) MarshalBinary() ([]byte, error) { return s.sk.MarshalBinary() }
+// MarshalBinary serializes the sketch (configuration + bitmap) into the
+// module's tagged envelope. The hash seed is not serialized; a
+// deserialized sketch can Estimate immediately but needs the original seed
+// (via Unmarshal's options) to keep counting.
+func (s *SBitmap) MarshalBinary() ([]byte, error) {
+	return marshalEnvelope(KindSBitmap, s.sk)
+}
 
-// Unmarshal reconstructs an S-bitmap serialized by MarshalBinary. Pass the
-// original WithSeed / hash-family options to continue adding items.
-func Unmarshal(data []byte, opts ...Option) (*SBitmap, error) {
-	o := buildOptions(opts)
-	coreOpts := []core.Option{}
-	if o.mkHasher != nil {
-		coreOpts = append(coreOpts, core.WithHasher(o.mkHasher(o.seed)))
-	} else {
-		coreOpts = append(coreOpts, core.WithHasher(uhash.NewMixer(o.seed)))
-	}
-	sk, err := core.UnmarshalSketch(data, coreOpts...)
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with the default
+// hash configuration; use the package-level Unmarshal with options to
+// restore under a custom seed or hash family.
+func (s *SBitmap) UnmarshalBinary(data []byte) error {
+	payload, err := payloadOfKind(data, KindSBitmap)
 	if err != nil {
-		return nil, fmt.Errorf("sbitmap: %w", err)
+		return err
 	}
-	return &SBitmap{sk: sk}, nil
+	sk, err := core.UnmarshalSketch(payload, core.WithHasher(uhash.NewMixer(1)))
+	if err != nil {
+		return fmt.Errorf("sbitmap: %w", err)
+	}
+	s.sk = sk
+	return nil
 }

@@ -1,6 +1,8 @@
 package sbitmap
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -9,53 +11,104 @@ import (
 	"repro/internal/xrand"
 )
 
-// Sharded is a concurrency-friendly S-bitmap composed of independently
-// locked shards. Items are routed to shards by an independent hash of the
-// key, so the shards count DISJOINT sub-populations of the distinct items
-// and the total estimate is simply the sum of shard estimates — the one
-// aggregation an (otherwise unmergeable) S-bitmap supports, because it is
-// partitioning rather than union.
+// Sharded is a concurrency decorator for any Counter: items are routed to
+// independently locked shards by an independent hash of the key, so the
+// shards count DISJOINT sub-populations of the distinct items and the
+// total estimate is simply the sum of shard estimates. Partitioning is the
+// one aggregation every sketch supports — including the (otherwise
+// unmergeable) S-bitmap — because it sums disjoint counts rather than
+// unioning overlapping ones.
 //
-// Accuracy: with the distinct population split evenly across s shards,
-// each shard estimates ≈ n/s with RRMSE ε, and the shard errors are
-// independent, so the summed estimate has RRMSE ≈ ε/√s — sharding for
-// concurrency also buys accuracy, at s× the memory. Each shard is
-// dimensioned for the full N (any skew in the router stays safe), so a
-// Sharded costs s× the memory of a single sketch with the same (N, ε).
+// Accuracy (for shards with relative error ε each): with the distinct
+// population split evenly across s shards, each shard estimates ≈ n/s and
+// the shard errors are independent, so the summed estimate has RRMSE
+// ≈ ε/√s — sharding for concurrency also buys accuracy, at s× the memory.
+// Each shard should be dimensioned for the full N so router skew stays
+// safe; the S-bitmap constructors here do that.
 type Sharded struct {
 	shards []shard
 	router *uhash.Mixer
+	seed   uint64 // router/base seed, serialized with snapshots
 	n      float64
 	eps    float64
 }
 
 type shard struct {
 	mu sync.Mutex
-	sk *SBitmap
+	sk Counter
 	_  [40]byte // pad to reduce false sharing between adjacent locks
 }
 
+// shardSeedStep spaces per-shard hash seeds (the golden-ratio increment,
+// so derived seeds never collide for realistic shard counts). It is part
+// of the serialization contract: snapshots record only the base seed.
+const shardSeedStep = 0x9e3779b97f4a7c15
+
+// routerSeed derives the routing hash's seed from the base seed; the
+// router must be independent of the per-shard sketch hashes.
+func routerSeed(seed uint64) uint64 { return xrand.Mix64(seed ^ 0x5ca1ab1e0ddba11) }
+
 // NewSharded returns a sharded S-bitmap with the given shard count; each
-// shard is an independent S-bitmap for (n, eps). Shards must be ≥ 1.
+// shard is an independent S-bitmap for (n, eps) seeded distinctly from the
+// options' seed. Shards must be ≥ 1.
 func NewSharded(shards int, n float64, eps float64, opts ...Option) (*Sharded, error) {
+	o := buildOptions(opts)
+	s, err := NewShardedFrom(shards, func(i int) (Counter, error) {
+		shardOpts := append([]Option{}, opts...)
+		shardOpts = append(shardOpts, WithSeed(o.seed+uint64(i)*shardSeedStep))
+		return New(n, eps, shardOpts...)
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.n, s.eps = n, eps
+	return s, nil
+}
+
+// NewShardedSpec returns a sharded counter whose shards are built from the
+// Spec, one per shard with distinctly derived seeds. Any Kind works;
+// aggregation across machines additionally needs the shards' math to
+// support it (see Merge).
+func NewShardedSpec(shards int, spec Spec) (*Sharded, error) {
+	base := spec.Seed
+	if base == 0 {
+		base = 1
+	}
+	s, err := NewShardedFrom(shards, func(i int) (Counter, error) {
+		shardSpec := spec
+		shardSpec.Seed = base + uint64(i)*shardSeedStep
+		return shardSpec.New()
+	}, WithSeed(base))
+	if err != nil {
+		return nil, err
+	}
+	s.n, s.eps = spec.N, spec.Eps
+	return s, nil
+}
+
+// NewShardedFrom returns a sharded counter over arbitrary shard sketches:
+// factory(i) builds shard i. The options configure only the router (its
+// seed must match the factory's base seed for snapshots to restore
+// per-shard hashing; the provided constructors handle this). Shards must
+// be ≥ 1, and every shard should be configured identically apart from its
+// seed.
+func NewShardedFrom(shards int, factory func(i int) (Counter, error), opts ...Option) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("sbitmap: shard count %d < 1", shards)
 	}
 	o := buildOptions(opts)
 	s := &Sharded{
 		shards: make([]shard, shards),
-		// The router must be independent of the per-shard sketch hashes;
-		// derive it from a fixed tweak of the user seed.
-		router: uhash.NewMixer(xrand.Mix64(o.seed ^ 0x5ca1ab1e0ddba11)),
-		n:      n,
-		eps:    eps,
+		router: uhash.NewMixer(routerSeed(o.seed)),
+		seed:   o.seed,
 	}
 	for i := range s.shards {
-		shardOpts := append([]Option{}, opts...)
-		shardOpts = append(shardOpts, WithSeed(o.seed+uint64(i)*0x9e3779b97f4a7c15))
-		sk, err := New(n, eps, shardOpts...)
+		sk, err := factory(i)
 		if err != nil {
 			return nil, err
+		}
+		if sk == nil {
+			return nil, fmt.Errorf("sbitmap: shard factory returned nil counter for shard %d", i)
 		}
 		s.shards[i].sk = sk
 	}
@@ -90,8 +143,16 @@ func (s *Sharded) AddUint64(item uint64) bool {
 	return changed
 }
 
-// AddString offers a string item; safe for concurrent use.
-func (s *Sharded) AddString(item string) bool { return s.Add([]byte(item)) }
+// AddString offers a string item; safe for concurrent use. It hashes
+// identically to Add of the string's bytes with no conversion allocation.
+func (s *Sharded) AddString(item string) bool {
+	hi, _ := s.router.Sum128String(item)
+	sh := s.route(hi)
+	sh.mu.Lock()
+	changed := sh.sk.AddString(item)
+	sh.mu.Unlock()
+	return changed
+}
 
 // Estimate returns the summed shard estimates; safe for concurrent use
 // (it locks shards one at a time, so it is a consistent snapshot only if
@@ -109,8 +170,10 @@ func (s *Sharded) Estimate() float64 {
 }
 
 // Epsilon returns the approximate RRMSE of the summed estimate when the
-// population spreads across shards: ε/√shards. (For n much smaller than
-// the shard count the single-shard ε applies instead.)
+// population spreads across shards: ε/√shards, with ε the per-shard error
+// the decorator was dimensioned for. It is 0 for factory-built Sharded
+// counters, whose per-shard error the decorator cannot know. (For n much
+// smaller than the shard count the single-shard ε applies instead.)
 func (s *Sharded) Epsilon() float64 {
 	return s.eps / math.Sqrt(float64(len(s.shards)))
 }
@@ -118,7 +181,7 @@ func (s *Sharded) Epsilon() float64 {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// SizeBits returns the total bitmap memory across shards.
+// SizeBits returns the total sketch memory across shards.
 func (s *Sharded) SizeBits() int {
 	total := 0
 	for i := range s.shards {
@@ -137,4 +200,127 @@ func (s *Sharded) Reset() {
 	}
 }
 
-var _ Counter = (*Sharded)(nil)
+// Merge implements Mergeable shard-by-shard, enabling distributed
+// aggregation: two Sharded counters built identically (same shard count,
+// base seed, and shard Spec) on different machines merge into the sketch
+// of the union of their streams — provided the shard sketches themselves
+// support union merging (HLL, LogLog, FM, linear counting, MR-bitmap).
+// S-bitmap shards fail with ErrNotMergeable; for S-bitmaps, aggregate by
+// partitioning the key space across machines instead and summing.
+//
+// The other counter must be quiescent for the duration of the call.
+func (s *Sharded) Merge(other Counter) error {
+	o, ok := other.(*Sharded)
+	if !ok {
+		return fmt.Errorf("sbitmap: cannot merge %T into *Sharded: %w", other, ErrNotMergeable)
+	}
+	if s == o {
+		return nil // union with itself is a no-op (and would self-deadlock)
+	}
+	if len(s.shards) != len(o.shards) {
+		return fmt.Errorf("sbitmap: merge of %d-shard counter with %d-shard counter", len(s.shards), len(o.shards))
+	}
+	if s.seed != o.seed {
+		return fmt.Errorf("sbitmap: merge of sharded counters with different base seeds (routers disagree)")
+	}
+	for i := range s.shards {
+		sh, oh := &s.shards[i], &o.shards[i]
+		sh.mu.Lock()
+		oh.mu.Lock()
+		err := Merge(sh.sk, oh.sk)
+		oh.mu.Unlock()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("sbitmap: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the snapshot records
+// the dimensioning, the base seed, and every shard's own envelope. Shards
+// are locked one at a time, so marshal at a quiescent point for a
+// consistent snapshot.
+func (s *Sharded) MarshalBinary() ([]byte, error) {
+	payload := make([]byte, 0, 32+len(s.shards)*64)
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(s.n))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(s.eps))
+	payload = binary.LittleEndian.AppendUint64(payload, s.seed)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.shards)))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		blob, err := Marshal(sh.sk)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("sbitmap: shard %d: %w", i, err)
+		}
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(blob)))
+		payload = append(payload, blob...)
+	}
+	return appendEnvelope(kindSharded, payload), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler with default hash
+// options; use Unmarshal with hash-family options if the shards were built
+// with a non-default family.
+func (s *Sharded) UnmarshalBinary(data []byte) error {
+	payload, err := payloadOfKind(data, kindSharded)
+	if err != nil {
+		return err
+	}
+	restored, err := unmarshalSharded(payload, nil)
+	if err != nil {
+		return err
+	}
+	*s = *restored
+	return nil
+}
+
+// unmarshalSharded rebuilds a Sharded from its envelope payload. Per-shard
+// seeds are re-derived from the recorded base seed (they are part of the
+// serialization contract); the caller's options contribute the hash family.
+func unmarshalSharded(payload []byte, opts []Option) (*Sharded, error) {
+	if len(payload) < 28 {
+		return nil, errors.New("sbitmap: truncated sharded snapshot")
+	}
+	s := &Sharded{
+		n:    math.Float64frombits(binary.LittleEndian.Uint64(payload)),
+		eps:  math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		seed: binary.LittleEndian.Uint64(payload[16:]),
+	}
+	count := int(binary.LittleEndian.Uint32(payload[24:]))
+	if count < 1 || count > 1<<20 {
+		return nil, fmt.Errorf("sbitmap: implausible shard count %d in snapshot", count)
+	}
+	s.router = uhash.NewMixer(routerSeed(s.seed))
+	s.shards = make([]shard, count)
+	payload = payload[28:]
+	for i := 0; i < count; i++ {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("sbitmap: truncated shard %d header", i)
+		}
+		blen := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if blen > len(payload) {
+			return nil, fmt.Errorf("sbitmap: truncated shard %d body", i)
+		}
+		shardOpts := append([]Option{}, opts...)
+		shardOpts = append(shardOpts, WithSeed(s.seed+uint64(i)*shardSeedStep))
+		sk, err := Unmarshal(payload[:blen], shardOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("sbitmap: shard %d: %w", i, err)
+		}
+		s.shards[i].sk = sk
+		payload = payload[blen:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("sbitmap: %d trailing bytes after last shard", len(payload))
+	}
+	return s, nil
+}
+
+var (
+	_ Counter   = (*Sharded)(nil)
+	_ Mergeable = (*Sharded)(nil)
+)

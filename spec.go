@@ -1,0 +1,360 @@
+package sbitmap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Spec is the declarative face of the module: one value that names a
+// sketch kind and dimensions it from the paper's shared (memory, N, ε)
+// vocabulary. The same Spec works as a library call (Spec.New), a CLI flag
+// or config-file string (ParseSpec / Spec.String), and a decorator input
+// (NewShardedSpec, NewWindowedSpec), so every layer of a deployment names
+// sketches the same way.
+//
+// Dimensioning rules:
+//
+//   - sbitmap: exactly two of {N, Eps, MemoryBits} — the third follows from
+//     Equation (7) of the paper, as in the New / NewWithMemory constructors
+//     and the sbdim tool.
+//   - hll, loglog, fm, linearcount, adaptive: a memory budget. If
+//     MemoryBits is zero, the budget defaults to what an S-bitmap needs for
+//     (N, Eps) — the like-for-like accounting of the paper's Section 6.2.
+//   - virtualbitmap, mrbitmap: a budget (as above) plus N, which centers
+//     (respectively bounds) their accurate band.
+//   - exact: no dimensioning; every field except Kind/Seed/Hash is ignored.
+type Spec struct {
+	// Kind selects the sketch algorithm.
+	Kind Kind
+	// N is the cardinality upper bound the sketch is dimensioned for.
+	N float64
+	// Eps is the target relative error (RRMSE) used for dimensioning.
+	Eps float64
+	// MemoryBits is an explicit memory budget in bits; zero derives the
+	// budget from (N, Eps) where the kind needs one.
+	MemoryBits int
+	// Seed selects the hash seed; zero means the default seed 1.
+	Seed uint64
+	// Hash selects the hash family: "" or "mixer" (default),
+	// "carterwegman", or "tabulation".
+	Hash string
+	// Resolution limits S-bitmap sampling decisions to d bits of hash
+	// (the paper's Algorithm 2 uses d = 30); zero means the default 64.
+	// Only valid for Kind sbitmap.
+	Resolution uint
+}
+
+// Kind names a sketch algorithm constructible from a Spec.
+type Kind string
+
+// The sketch kinds of the module: the paper's S-bitmap plus every baseline
+// of its Section 6 comparison and the exact reference counter.
+const (
+	KindSBitmap       Kind = "sbitmap"
+	KindHLL           Kind = "hll"
+	KindLogLog        Kind = "loglog"
+	KindFM            Kind = "fm"
+	KindLinearCount   Kind = "linearcount"
+	KindVirtualBitmap Kind = "virtualbitmap"
+	KindMRBitmap      Kind = "mrbitmap"
+	KindAdaptive      Kind = "adaptive"
+	KindExact         Kind = "exact"
+)
+
+// kindAliases maps accepted spellings (canonical names included) to
+// canonical kinds, so CLI flags can use the short names of the paper's
+// tables.
+var kindAliases = map[string]Kind{
+	"sbitmap":       KindSBitmap,
+	"sb":            KindSBitmap,
+	"hll":           KindHLL,
+	"hyperloglog":   KindHLL,
+	"loglog":        KindLogLog,
+	"llog":          KindLogLog,
+	"fm":            KindFM,
+	"pcsa":          KindFM,
+	"linearcount":   KindLinearCount,
+	"lc":            KindLinearCount,
+	"virtualbitmap": KindVirtualBitmap,
+	"vb":            KindVirtualBitmap,
+	"mrbitmap":      KindMRBitmap,
+	"mr":            KindMRBitmap,
+	"adaptive":      KindAdaptive,
+	"exact":         KindExact,
+}
+
+// Kinds returns every constructible kind in deterministic order.
+func Kinds() []Kind {
+	return []Kind{
+		KindSBitmap, KindHLL, KindLogLog, KindFM, KindLinearCount,
+		KindVirtualBitmap, KindMRBitmap, KindAdaptive, KindExact,
+	}
+}
+
+// ParseKind resolves a kind name or alias ("hll", "hyperloglog", "mr", …).
+func ParseKind(name string) (Kind, error) {
+	k, ok := kindAliases[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		known := make([]string, 0, len(kindAliases))
+		for a := range kindAliases {
+			known = append(known, a)
+		}
+		sort.Strings(known)
+		return "", fmt.Errorf("sbitmap: unknown sketch kind %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return k, nil
+}
+
+// ParseSpec parses the string form of a Spec:
+//
+//	kind[:key=value[,key=value...]]
+//
+// e.g. "sbitmap:n=1e6,eps=0.01", "hll:mbits=4096,seed=7", "exact". Keys are
+// n, eps, mbits, seed, hash, and d (sampling resolution); kind accepts the
+// aliases of ParseKind. ParseSpec(s.String()) == s for every valid Spec.
+func ParseSpec(s string) (Spec, error) {
+	kindPart, params, _ := strings.Cut(s, ":")
+	kind, err := ParseKind(kindPart)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{Kind: kind}
+	if strings.TrimSpace(params) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("sbitmap: spec parameter %q is not key=value", kv)
+		}
+		switch key {
+		case "n":
+			if spec.N, err = strconv.ParseFloat(val, 64); err != nil || !(spec.N > 0) || math.IsInf(spec.N, 0) {
+				return Spec{}, fmt.Errorf("sbitmap: spec n=%q is not a positive number", val)
+			}
+		case "eps":
+			if spec.Eps, err = strconv.ParseFloat(val, 64); err != nil || !(spec.Eps > 0) {
+				return Spec{}, fmt.Errorf("sbitmap: spec eps=%q is not a positive number", val)
+			}
+		case "mbits":
+			// Parsed as float so budgets can be written "4e3".
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(f > 0) || f != math.Trunc(f) || f > math.MaxInt32 {
+				return Spec{}, fmt.Errorf("sbitmap: spec mbits=%q is not a positive bit count", val)
+			}
+			spec.MemoryBits = int(f)
+		case "seed":
+			if spec.Seed, err = strconv.ParseUint(val, 0, 64); err != nil {
+				return Spec{}, fmt.Errorf("sbitmap: spec seed=%q is not an unsigned integer", val)
+			}
+		case "hash":
+			spec.Hash = strings.ToLower(val)
+			if _, err := hashOption(spec.Hash); err != nil {
+				return Spec{}, err
+			}
+		case "d":
+			d, err := strconv.ParseUint(val, 10, 8)
+			if err != nil || d < 1 || d > 64 {
+				return Spec{}, fmt.Errorf("sbitmap: spec d=%q is not a resolution in [1, 64]", val)
+			}
+			spec.Resolution = uint(d)
+		default:
+			return Spec{}, fmt.Errorf("sbitmap: unknown spec parameter %q (known: n, eps, mbits, seed, hash, d)", key)
+		}
+	}
+	return spec, nil
+}
+
+// MustSpec is ParseSpec for compile-time-constant strings; it panics on
+// error.
+func MustSpec(s string) Spec {
+	spec, err := ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// String renders the Spec in the canonical form accepted by ParseSpec,
+// omitting zero-valued (defaulted) fields.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(string(s.Kind))
+	sep := byte(':')
+	put := func(key, val string) {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	if s.N > 0 {
+		put("n", strconv.FormatFloat(s.N, 'g', -1, 64))
+	}
+	if s.Eps > 0 {
+		put("eps", strconv.FormatFloat(s.Eps, 'g', -1, 64))
+	}
+	if s.MemoryBits > 0 {
+		put("mbits", strconv.Itoa(s.MemoryBits))
+	}
+	if s.Seed != 0 {
+		put("seed", strconv.FormatUint(s.Seed, 10))
+	}
+	if s.Hash != "" {
+		put("hash", s.Hash)
+	}
+	if s.Resolution != 0 {
+		put("d", strconv.FormatUint(uint64(s.Resolution), 10))
+	}
+	return b.String()
+}
+
+// hashOption maps a hash-family name to its Option; "" and "mixer" mean
+// the default (no option).
+func hashOption(name string) (Option, error) {
+	switch name {
+	case "", "mixer":
+		return nil, nil
+	case "carterwegman", "cw":
+		return WithCarterWegman(), nil
+	case "tabulation":
+		return WithTabulation(), nil
+	default:
+		return nil, fmt.Errorf("sbitmap: unknown hash family %q (known: mixer, carterwegman, tabulation)", name)
+	}
+}
+
+// options materializes the Spec's seed/hash/resolution fields as
+// constructor options.
+func (s Spec) options() ([]Option, error) {
+	var opts []Option
+	if s.Seed != 0 {
+		opts = append(opts, WithSeed(s.Seed))
+	}
+	hashOpt, err := hashOption(s.Hash)
+	if err != nil {
+		return nil, err
+	}
+	if hashOpt != nil {
+		opts = append(opts, hashOpt)
+	}
+	if s.Resolution != 0 {
+		if s.Kind != KindSBitmap {
+			return nil, fmt.Errorf("sbitmap: spec %s: sampling resolution d applies only to sbitmap", s.Kind)
+		}
+		opts = append(opts, WithSamplingResolution(s.Resolution))
+	}
+	return opts, nil
+}
+
+// budget returns the Spec's memory budget in bits: MemoryBits when set,
+// otherwise the S-bitmap-equivalent budget for (N, Eps) — the shared
+// accounting under which the paper's Section 6.2 compares all sketches.
+func (s Spec) budget() (int, error) {
+	if s.MemoryBits > 0 {
+		return s.MemoryBits, nil
+	}
+	if s.N > 0 && s.Eps > 0 {
+		return Memory(s.N, s.Eps)
+	}
+	return 0, fmt.Errorf("sbitmap: spec %s needs mbits or both n and eps to fix a memory budget", s.Kind)
+}
+
+// New constructs the counter the Spec describes.
+func (s Spec) New() (Counter, error) {
+	opts, err := s.options()
+	if err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindSBitmap:
+		return s.newSBitmap(opts)
+	case KindHLL:
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewHyperLogLog(b, opts...), nil
+	case KindLogLog:
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewLogLog(b, opts...), nil
+	case KindFM:
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewFM(b, opts...), nil
+	case KindLinearCount:
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewLinearCounting(b, opts...), nil
+	case KindAdaptive:
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewAdaptiveSampler(b, opts...), nil
+	case KindVirtualBitmap:
+		if !(s.N > 0) {
+			return nil, fmt.Errorf("sbitmap: spec virtualbitmap needs n (the center of its accurate band)")
+		}
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewVirtualBitmap(b, s.N, opts...), nil
+	case KindMRBitmap:
+		if !(s.N > 0) {
+			return nil, fmt.Errorf("sbitmap: spec mrbitmap needs n (its coverage bound)")
+		}
+		b, err := s.budget()
+		if err != nil {
+			return nil, err
+		}
+		return NewMRBitmap(b, s.N, opts...)
+	case KindExact:
+		return NewExact(), nil
+	case "":
+		return nil, fmt.Errorf("sbitmap: spec has no kind")
+	default:
+		return nil, fmt.Errorf("sbitmap: unknown sketch kind %q", s.Kind)
+	}
+}
+
+// newSBitmap dimensions an S-bitmap from exactly two of {N, Eps,
+// MemoryBits}, mirroring the sbdim calculator.
+func (s Spec) newSBitmap(opts []Option) (Counter, error) {
+	given := 0
+	for _, set := range []bool{s.N > 0, s.Eps > 0, s.MemoryBits > 0} {
+		if set {
+			given++
+		}
+	}
+	if given != 2 {
+		return nil, fmt.Errorf("sbitmap: spec sbitmap needs exactly two of n, eps, mbits (got %d)", given)
+	}
+	switch {
+	case s.N > 0 && s.Eps > 0:
+		return New(s.N, s.Eps, opts...)
+	case s.MemoryBits > 0 && s.N > 0:
+		return NewWithMemory(s.MemoryBits, s.N, opts...)
+	default: // MemoryBits + Eps: derive N from Equation (6) via C = 1 + ε⁻².
+		cfg, err := core.NewConfigMC(s.MemoryBits, 1+1/(s.Eps*s.Eps))
+		if err != nil {
+			return nil, err
+		}
+		return fromConfig(cfg, opts...)
+	}
+}

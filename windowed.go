@@ -1,15 +1,18 @@
 package sbitmap
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
 // Windowed counts distinct items per fixed time window — the paper's
 // network-monitoring deployment pattern (Section 7 estimates flows "every
-// minute interval"). It rotates between two S-bitmaps so that closing a
-// window and starting the next is O(1) bookkeeping plus a bitmap reset,
-// with no allocation after construction.
+// minute interval"). It decorates any Counter: two identically configured
+// sketches rotate so that closing a window and starting the next is O(1)
+// bookkeeping plus a sketch reset, with no allocation after construction.
 //
 // The caller supplies timestamps (so replayed traces and simulations work
 // without wall-clock coupling); out-of-order items behind the current
@@ -19,10 +22,11 @@ import (
 // Not safe for concurrent use; wrap in a mutex or shard by key.
 type Windowed struct {
 	width   time.Duration
-	current *SBitmap
-	spare   *SBitmap
+	current Counter
+	spare   Counter
 
 	started    bool
+	observed   bool // an item arrived since the last close
 	winStart   time.Time
 	lastClosed WindowResult
 	hasClosed  bool
@@ -34,28 +38,44 @@ type WindowResult struct {
 	Start    time.Time
 	End      time.Time
 	Estimate float64
-	// Saturated reports whether the window's sketch hit its configured
-	// bound N; the estimate is then a lower bound pinned near N.
+	// Saturated reports whether the window's sketch ran past its
+	// configured operating range (see Saturable); the estimate is then a
+	// pinned lower bound. Always false for sketches without a bound.
 	Saturated bool
 }
 
-// NewWindowed returns a windowed counter with the given window width;
-// each window's sketch is dimensioned for (n, eps) like New. The optional
-// onClose callback fires synchronously whenever a window completes (from
-// within Add — keep it cheap).
+// NewWindowed returns a windowed S-bitmap counter with the given window
+// width; each window's sketch is dimensioned for (n, eps) like New. The
+// optional onClose callback fires synchronously whenever a window
+// completes (from within Add — keep it cheap).
 func NewWindowed(width time.Duration, n float64, eps float64, onClose func(WindowResult), opts ...Option) (*Windowed, error) {
+	return NewWindowedFrom(width, func() (Counter, error) { return New(n, eps, opts...) }, onClose)
+}
+
+// NewWindowedSpec returns a windowed counter rotating sketches built from
+// the Spec; any Kind works.
+func NewWindowedSpec(width time.Duration, spec Spec, onClose func(WindowResult)) (*Windowed, error) {
+	return NewWindowedFrom(width, spec.New, onClose)
+}
+
+// NewWindowedFrom returns a windowed counter over arbitrary sketches: the
+// factory is called twice to build the rotation pair, so it must produce
+// identically configured counters (same dimensions AND hash seed — the
+// estimate semantics must be identical window to window).
+func NewWindowedFrom(width time.Duration, factory func() (Counter, error), onClose func(WindowResult)) (*Windowed, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("sbitmap: window width %v must be positive", width)
 	}
-	cur, err := New(n, eps, opts...)
+	cur, err := factory()
 	if err != nil {
 		return nil, err
 	}
-	// The spare must use the same configuration AND hash seed so the
-	// estimate semantics are identical window to window.
-	spare, err := New(n, eps, opts...)
+	spare, err := factory()
 	if err != nil {
 		return nil, err
+	}
+	if cur == nil || spare == nil {
+		return nil, errors.New("sbitmap: window factory returned nil counter")
 	}
 	return &Windowed{width: width, current: cur, spare: spare, onClose: onClose}, nil
 }
@@ -65,18 +85,21 @@ func NewWindowed(width time.Duration, n float64, eps float64, onClose func(Windo
 // window first (possibly several empty windows if the stream has gaps).
 func (w *Windowed) Add(ts time.Time, item []byte) bool {
 	w.roll(ts)
+	w.observed = true
 	return w.current.Add(item)
 }
 
 // AddUint64 offers a 64-bit item observed at ts.
 func (w *Windowed) AddUint64(ts time.Time, item uint64) bool {
 	w.roll(ts)
+	w.observed = true
 	return w.current.AddUint64(item)
 }
 
 // AddString offers a string item observed at ts.
 func (w *Windowed) AddString(ts time.Time, item string) bool {
 	w.roll(ts)
+	w.observed = true
 	return w.current.AddString(item)
 }
 
@@ -89,7 +112,26 @@ func (w *Windowed) roll(ts time.Time) {
 	}
 	for !ts.Before(w.winStart.Add(w.width)) {
 		w.closeCurrent()
+		if w.onClose != nil {
+			continue
+		}
+		// Without a close callback the intervening empty windows of a long
+		// stream gap are observable only through Last(); jump to the final
+		// gap window (the next iteration closes it normally) instead of
+		// closing millions of identical empty windows one by one.
+		if target := ts.Truncate(w.width); target.After(w.winStart) {
+			w.winStart = target.Add(-w.width)
+		}
 	}
+}
+
+// saturated reports a counter's Saturable state, defaulting to false for
+// counters without an operating bound.
+func saturated(c Counter) bool {
+	if s, ok := c.(Saturable); ok {
+		return s.Saturated()
+	}
+	return false
 }
 
 // closeCurrent finalizes the current window and opens the next.
@@ -99,13 +141,14 @@ func (w *Windowed) closeCurrent() {
 		Start:     w.winStart,
 		End:       end,
 		Estimate:  w.current.Estimate(),
-		Saturated: w.current.Saturated(),
+		Saturated: saturated(w.current),
 	}
 	w.hasClosed = true
+	w.observed = false
 	if w.onClose != nil {
 		w.onClose(w.lastClosed)
 	}
-	// Swap in the (clean) spare and recycle the old bitmap.
+	// Swap in the (clean) spare and recycle the old sketch.
 	w.current, w.spare = w.spare, w.current
 	w.spare.Reset()
 	w.winStart = end
@@ -113,9 +156,10 @@ func (w *Windowed) closeCurrent() {
 
 // Flush force-closes the current window (e.g. at end of stream) and
 // returns its result. It is a no-op returning ok=false if no item has
-// been observed since the last close.
+// been observed since the last close, so repeated flushes cannot emit
+// spurious empty windows (or fire onClose for them).
 func (w *Windowed) Flush() (WindowResult, bool) {
-	if !w.started {
+	if !w.started || !w.observed {
 		return WindowResult{}, false
 	}
 	w.closeCurrent()
@@ -125,9 +169,139 @@ func (w *Windowed) Flush() (WindowResult, bool) {
 // Current returns the running estimate of the open window.
 func (w *Windowed) Current() float64 { return w.current.Estimate() }
 
+// Estimate returns the running estimate of the open window, mirroring the
+// Counter method of the wrapped sketches.
+func (w *Windowed) Estimate() float64 { return w.current.Estimate() }
+
 // Last returns the most recently closed window's result; ok is false if
 // no window has closed yet.
 func (w *Windowed) Last() (WindowResult, bool) { return w.lastClosed, w.hasClosed }
 
 // SizeBits returns the total memory of both rotation sketches.
 func (w *Windowed) SizeBits() int { return w.current.SizeBits() + w.spare.SizeBits() }
+
+// MarshalBinary implements encoding.BinaryMarshaler: the snapshot records
+// the window bookkeeping and both rotation sketches' envelopes, so a
+// restored Windowed resumes mid-window. Restore with UnmarshalWindowed
+// (a Windowed is not itself a Counter — its Add takes a timestamp).
+func (w *Windowed) MarshalBinary() ([]byte, error) {
+	curBlob, err := Marshal(w.current)
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: windowed current sketch: %w", err)
+	}
+	spareBlob, err := Marshal(w.spare)
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: windowed spare sketch: %w", err)
+	}
+	var flags byte
+	if w.started {
+		flags |= 1
+	}
+	if w.observed {
+		flags |= 2
+	}
+	if w.hasClosed {
+		flags |= 4
+	}
+	if w.lastClosed.Saturated {
+		flags |= 8
+	}
+	payload := make([]byte, 0, 50+len(curBlob)+len(spareBlob))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(w.width))
+	payload = append(payload, flags)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(timeNano(w.started, w.winStart)))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(timeNano(w.hasClosed, w.lastClosed.Start)))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(timeNano(w.hasClosed, w.lastClosed.End)))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(w.lastClosed.Estimate))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(curBlob)))
+	payload = append(payload, curBlob...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(spareBlob)))
+	payload = append(payload, spareBlob...)
+	return appendEnvelope(kindWindowed, payload), nil
+}
+
+// timeNano guards UnixNano against the zero time (whose nanosecond value
+// is out of range); unused times serialize as 0.
+func timeNano(valid bool, t time.Time) int64 {
+	if !valid {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// UnmarshalWindowed reconstructs a Windowed serialized by MarshalBinary.
+// The onClose callback is not serializable and must be re-supplied; pass
+// the original WithSeed / hash-family options to continue adding items.
+func UnmarshalWindowed(data []byte, onClose func(WindowResult), opts ...Option) (*Windowed, error) {
+	payload, err := payloadOfKind(data, kindWindowed)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 41 {
+		return nil, errors.New("sbitmap: truncated windowed snapshot")
+	}
+	width := time.Duration(binary.LittleEndian.Uint64(payload))
+	if width <= 0 {
+		return nil, fmt.Errorf("sbitmap: windowed snapshot has non-positive width %v", width)
+	}
+	flags := payload[8]
+	winStartNs := int64(binary.LittleEndian.Uint64(payload[9:]))
+	lastStartNs := int64(binary.LittleEndian.Uint64(payload[17:]))
+	lastEndNs := int64(binary.LittleEndian.Uint64(payload[25:]))
+	lastEstimate := math.Float64frombits(binary.LittleEndian.Uint64(payload[33:]))
+	payload = payload[41:]
+
+	next := func() ([]byte, error) {
+		if len(payload) < 4 {
+			return nil, errors.New("sbitmap: truncated windowed sketch header")
+		}
+		blen := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if blen > len(payload) {
+			return nil, errors.New("sbitmap: truncated windowed sketch body")
+		}
+		blob := payload[:blen]
+		payload = payload[blen:]
+		return blob, nil
+	}
+	curBlob, err := next()
+	if err != nil {
+		return nil, err
+	}
+	spareBlob, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("sbitmap: %d trailing bytes after windowed sketches", len(payload))
+	}
+	cur, err := Unmarshal(curBlob, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: windowed current sketch: %w", err)
+	}
+	spare, err := Unmarshal(spareBlob, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: windowed spare sketch: %w", err)
+	}
+	w := &Windowed{
+		width:     width,
+		current:   cur,
+		spare:     spare,
+		started:   flags&1 != 0,
+		observed:  flags&2 != 0,
+		hasClosed: flags&4 != 0,
+		onClose:   onClose,
+	}
+	if w.started {
+		w.winStart = time.Unix(0, winStartNs)
+	}
+	if w.hasClosed {
+		w.lastClosed = WindowResult{
+			Start:     time.Unix(0, lastStartNs),
+			End:       time.Unix(0, lastEndNs),
+			Estimate:  lastEstimate,
+			Saturated: flags&8 != 0,
+		}
+	}
+	return w, nil
+}
