@@ -1,0 +1,421 @@
+package sbitmap
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// batchSpecs dimensions one Spec per Kind for the equivalence tests
+// (small enough to run fast, large enough that thousands of items change
+// state).
+func batchSpecs(t testing.TB) map[Kind]Spec {
+	t.Helper()
+	specs := make(map[Kind]Spec)
+	for _, kind := range Kinds() {
+		spec := Spec{Kind: kind, Seed: 7}
+		switch kind {
+		case KindSBitmap:
+			spec.N, spec.Eps = 50_000, 0.03
+		case KindExact:
+			// no dimensioning
+		default:
+			spec.N, spec.MemoryBits = 50_000, 4096
+		}
+		specs[kind] = spec
+	}
+	return specs
+}
+
+// batchItems is a duplicate-heavy shuffled workload: first occurrences and
+// duplicates interleave, so batch paths must reproduce order-dependent
+// state transitions exactly.
+func batchItems() []uint64 {
+	var items []uint64
+	stream.ForEach(stream.NewInterleaved(8_000, 20_000, stream.DupZipf, 11), func(x uint64) {
+		items = append(items, x)
+	})
+	return items
+}
+
+// oddBatches splits items into deliberately ragged batch sizes (including
+// size 1 and bigger-than-chunk sizes) to exercise chunk boundaries.
+func oddBatches(items []uint64) [][]uint64 {
+	sizes := []int{1, 3, 17, 255, 256, 257, 1000, 4096}
+	var out [][]uint64
+	for i, k := 0, 0; i < len(items); k++ {
+		n := min(sizes[k%len(sizes)], len(items)-i)
+		out = append(out, items[i:i+n])
+		i += n
+	}
+	return out
+}
+
+// marshalState serializes a counter, failing the test on error.
+func marshalState(t *testing.T, c Counter) []byte {
+	t.Helper()
+	blob, err := Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return blob
+}
+
+// TestAddBatch64EquivalenceAllKinds: for every Kind, the native batch path
+// must leave the sketch in a bit-identical state to item-at-a-time
+// AddUint64, and report the same changed count.
+func TestAddBatch64EquivalenceAllKinds(t *testing.T) {
+	items := batchItems()
+	for kind, spec := range batchSpecs(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			ref, err := spec.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := spec.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := got.(BulkAdder); !ok {
+				t.Fatalf("%T does not implement BulkAdder natively", got)
+			}
+			wantChanged := 0
+			for _, x := range items {
+				if ref.AddUint64(x) {
+					wantChanged++
+				}
+			}
+			gotChanged := 0
+			for _, b := range oddBatches(items) {
+				gotChanged += AddBatch64(got, b)
+			}
+			if gotChanged != wantChanged {
+				t.Errorf("batch changed %d items, per-item %d", gotChanged, wantChanged)
+			}
+			if ref.Estimate() != got.Estimate() {
+				t.Errorf("estimates diverge: batch %v, per-item %v", got.Estimate(), ref.Estimate())
+			}
+			if !bytes.Equal(marshalState(t, ref), marshalState(t, got)) {
+				t.Error("serialized states differ between batch and per-item ingestion")
+			}
+		})
+	}
+}
+
+// TestAddBatchStringEquivalenceAllKinds is the string-key variant; batch
+// ingestion must also match the byte-slice Add path (the hashing contract).
+func TestAddBatchStringEquivalenceAllKinds(t *testing.T) {
+	var keys []string
+	stream.ForEach(stream.NewInterleaved(3_000, 8_000, stream.DupUniform, 13), func(x uint64) {
+		keys = append(keys, fmt.Sprintf("user-%x", x))
+	})
+	for kind, spec := range batchSpecs(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			ref, err := spec.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := spec.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantChanged := 0
+			for _, k := range keys {
+				if ref.Add([]byte(k)) {
+					wantChanged++
+				}
+			}
+			gotChanged := 0
+			const bs = 300 // ragged: 8000 % 300 != 0
+			for i := 0; i < len(keys); i += bs {
+				gotChanged += AddBatchString(got, keys[i:min(i+bs, len(keys))])
+			}
+			if gotChanged != wantChanged {
+				t.Errorf("batch changed %d items, per-item %d", gotChanged, wantChanged)
+			}
+			if !bytes.Equal(marshalState(t, ref), marshalState(t, got)) {
+				t.Error("serialized states differ between AddBatchString and Add")
+			}
+		})
+	}
+}
+
+// TestShardedBatchEquivalence: the routed batch path must be bit-identical
+// to per-item ingestion for a decorated counter of every mergeable layout,
+// including the routing (same items to same shards).
+func TestShardedBatchEquivalence(t *testing.T) {
+	items := batchItems()
+	for _, kind := range []Kind{KindSBitmap, KindHLL, KindLinearCount} {
+		t.Run(string(kind), func(t *testing.T) {
+			spec := batchSpecs(t)[kind]
+			ref, err := NewShardedSpec(5, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewShardedSpec(5, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantChanged := 0
+			for _, x := range items {
+				if ref.AddUint64(x) {
+					wantChanged++
+				}
+			}
+			gotChanged := 0
+			for _, b := range oddBatches(items) {
+				gotChanged += got.AddBatch64(b)
+			}
+			if gotChanged != wantChanged {
+				t.Errorf("batch changed %d items, per-item %d", gotChanged, wantChanged)
+			}
+			refBlob, err := ref.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBlob, err := got.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refBlob, gotBlob) {
+				t.Error("sharded snapshots differ between batch and per-item ingestion")
+			}
+
+			// String keys route identically too.
+			keys := make([]string, 2000)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", i%700) // duplicates included
+			}
+			for _, k := range keys {
+				ref.AddString(k)
+			}
+			for i := 0; i < len(keys); i += 333 {
+				got.AddBatchString(keys[i:min(i+333, len(keys))])
+			}
+			if ref.Estimate() != got.Estimate() {
+				t.Errorf("string estimates diverge: batch %v, per-item %v", got.Estimate(), ref.Estimate())
+			}
+		})
+	}
+}
+
+// TestWindowedBatchEquivalence: one rotation check per batch must produce
+// the same windows, estimates, and serialized state as per-item adds with
+// the same timestamps.
+func TestWindowedBatchEquivalence(t *testing.T) {
+	spec := MustSpec("sbitmap:n=20000,eps=0.05,seed=3")
+	var refWins, gotWins []WindowResult
+	ref, err := NewWindowedSpec(time.Minute, spec, func(w WindowResult) { refWins = append(refWins, w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewWindowedSpec(time.Minute, spec, func(w WindowResult) { gotWins = append(gotWins, w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	items := batchItems()
+	// 10 windows of ragged batches; all items of one batch share a timestamp,
+	// which is the batch API's contract.
+	perWin := len(items) / 10
+	for w := 0; w < 10; w++ {
+		ts := base.Add(time.Duration(w) * time.Minute).Add(7 * time.Second)
+		win := items[w*perWin : (w+1)*perWin]
+		for _, x := range win {
+			ref.AddUint64(ts, x)
+		}
+		for i := 0; i < len(win); i += 173 {
+			got.AddBatch64(ts, win[i:min(i+173, len(win))])
+		}
+	}
+	if len(refWins) != len(gotWins) {
+		t.Fatalf("window counts diverge: per-item %d, batch %d", len(refWins), len(gotWins))
+	}
+	for i := range refWins {
+		if refWins[i] != gotWins[i] {
+			t.Errorf("window %d diverges: per-item %+v, batch %+v", i, refWins[i], gotWins[i])
+		}
+	}
+	refBlob, err := ref.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBlob, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBlob, gotBlob) {
+		t.Error("windowed snapshots differ between batch and per-item ingestion")
+	}
+}
+
+// fallbackOnly wraps a Counter, hiding its BulkAdder implementation so the
+// package-level helpers must take the per-item fallback.
+type fallbackOnly struct{ c Counter }
+
+func (f fallbackOnly) Add(item []byte) bool       { return f.c.Add(item) }
+func (f fallbackOnly) AddUint64(item uint64) bool { return f.c.AddUint64(item) }
+func (f fallbackOnly) AddString(item string) bool { return f.c.AddString(item) }
+func (f fallbackOnly) Estimate() float64          { return f.c.Estimate() }
+func (f fallbackOnly) SizeBits() int              { return f.c.SizeBits() }
+func (f fallbackOnly) Reset()                     { f.c.Reset() }
+
+// TestAddBatchFallback: a foreign Counter without a native batch path goes
+// through the item-at-a-time fallback with identical results.
+func TestAddBatchFallback(t *testing.T) {
+	spec := MustSpec("hll:mbits=4096,seed=9")
+	native, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := batchItems()[:5000]
+	nativeChanged := AddBatch64(native, items)
+	fallbackChanged := AddBatch64(fallbackOnly{wrapped}, items)
+	if nativeChanged != fallbackChanged {
+		t.Errorf("native batch changed %d, fallback %d", nativeChanged, fallbackChanged)
+	}
+	if native.Estimate() != wrapped.Estimate() {
+		t.Errorf("estimates diverge: native %v, fallback %v", native.Estimate(), wrapped.Estimate())
+	}
+
+	keys := []string{"a", "b", "a", "c", "b", ""}
+	n1 := AddBatchString(native, keys)
+	n2 := AddBatchString(fallbackOnly{wrapped}, keys)
+	if n1 != n2 {
+		t.Errorf("string batch: native changed %d, fallback %d", n1, n2)
+	}
+}
+
+// TestShardedBatchConcurrentStress hammers one Sharded counter with
+// concurrent batch and per-item writers plus estimate/snapshot readers;
+// run under -race (CI does) it checks the locking of the batch path, and
+// the final state must equal a sequential reference over the union of all
+// items.
+func TestShardedBatchConcurrentStress(t *testing.T) {
+	spec := MustSpec("sbitmap:n=1e6,eps=0.03,seed=5")
+	s, err := NewShardedSpec(8, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 20_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []uint64
+			stream.ForEach(stream.NewDistinct(perWorker, uint64(w)), func(x uint64) {
+				buf = append(buf, x)
+			})
+			if w%2 == 0 {
+				for i := 0; i < len(buf); i += 1024 {
+					s.AddBatch64(buf[i:min(i+1024, len(buf))])
+				}
+			} else {
+				for _, x := range buf {
+					s.AddUint64(x)
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: estimates and snapshots must not race with the
+	// batch path's grouped locking.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Estimate()
+				if _, err := s.MarshalBinary(); err != nil {
+					t.Errorf("concurrent marshal: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	// Interleaving is nondeterministic, so exact state cannot be compared
+	// to a sequential reference (an S-bitmap's state is order-dependent);
+	// the estimate over the known distinct population must still land.
+	truth := float64(workers * perWorker)
+	if est := s.Estimate(); est < 0.85*truth || est > 1.15*truth {
+		t.Errorf("estimate %v after concurrent ingest, want within 15%% of %v", est, truth)
+	}
+}
+
+// TestBatchAllocFree: steady-state uint64 batch ingest must not allocate —
+// neither the fused single-sketch path nor the pooled Sharded partition
+// path.
+func TestBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under -race (sync.Pool drops entries at random)")
+	}
+	items := make([]uint64, 4096)
+	for i := range items {
+		items[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+
+	sb, err := New(1e6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.AddBatch64(items) // warm the hash scratch
+	if n := testing.AllocsPerRun(50, func() { sb.AddBatch64(items) }); n != 0 {
+		t.Errorf("SBitmap.AddBatch64 allocates %v per call, want 0", n)
+	}
+
+	sh, err := NewSharded(8, 1e6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.AddBatch64(items) // warm the partition scratch pool
+	if n := testing.AllocsPerRun(50, func() { sh.AddBatch64(items) }); n != 0 {
+		t.Errorf("Sharded.AddBatch64 allocates %v per call, want 0", n)
+	}
+}
+
+// TestBatchEmptyAndTiny: zero-length and single-item batches are valid.
+func TestBatchEmptyAndTiny(t *testing.T) {
+	sb, err := New(1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sb.AddBatch64(nil); n != 0 {
+		t.Errorf("empty batch changed %d", n)
+	}
+	h, err := MustSpec("hll:mbits=4096").New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := AddBatch64(h, []uint64{42}); n != 1 {
+		t.Errorf("first single-item batch changed %d, want 1", n)
+	}
+	sh, err := NewSharded(3, 1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sh.AddBatch64(nil); n != 0 {
+		t.Errorf("empty sharded batch changed %d", n)
+	}
+	if n := sh.AddBatchString(nil); n != 0 {
+		t.Errorf("empty sharded string batch changed %d", n)
+	}
+}

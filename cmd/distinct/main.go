@@ -58,12 +58,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Lines feed every counter through the batch ingestion path: each line
+	// is copied out of the scanner's volatile buffer into a batch, and a
+	// full batch is offered to each sketch in one AddBatchString call
+	// (hashing identically to per-line Add of the raw bytes).
+	const lineBatch = 512
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lines := 0
-	for scanner.Scan() {
+	batch := make([]string, 0, lineBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
 		for _, c := range counters {
-			c.counter.Add(scanner.Bytes())
+			sbitmap.AddBatchString(c.counter, batch)
+		}
+		batch = batch[:0]
+	}
+	for scanner.Scan() {
+		batch = append(batch, string(scanner.Bytes()))
+		if len(batch) == lineBatch {
+			flush()
 		}
 		lines++
 	}
@@ -71,6 +87,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "distinct: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
+	flush()
 
 	fmt.Printf("%d lines read\n", lines)
 	width := 10

@@ -48,6 +48,7 @@ func main() {
 		compare  = flag.String("compare", "", "semicolon-separated sketch specs for an ad-hoc accuracy comparison")
 		distinct = flag.Int("distinct", 100_000, "true distinct count for -compare")
 		reps     = flag.Int("reps", 20, "replicates per spec for -compare")
+		jsonOut  = flag.String("json", "", "with -run throughput: also write the report as JSON to this file (e.g. BENCH_throughput.json)")
 	)
 	flag.Parse()
 
@@ -59,11 +60,21 @@ func main() {
 		return
 	}
 
+	if *run == "throughput" {
+		if err := runThroughput(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
 			fmt.Printf("  %-16s %s\n", id, experiment.Title(id))
 		}
+		fmt.Printf("  %-16s %s\n", "throughput",
+			"ingest throughput benchmark (items/sec per sketch × mode × key; -json writes BENCH_throughput.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

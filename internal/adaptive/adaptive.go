@@ -32,6 +32,7 @@ type Sampler struct {
 	depth    uint
 	set      map[uint64]struct{}
 	h        uhash.Hasher
+	scr      uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // NewSampler returns an adaptive sampler that retains at most capacity
@@ -97,6 +98,29 @@ func (s *Sampler) insert(hi, lo uint64) bool {
 		s.deepen()
 	}
 	return true
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many changed
+// the sample; state-equivalent to AddUint64 on each item in order. The
+// insert itself is sample-state-dependent (depth can change mid-batch), so
+// only the hashing is batched.
+func (s *Sampler) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sampler) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+func (s *Sampler) insertBatch(hi, lo []uint64) int {
+	changed := 0
+	for i := range hi {
+		if s.insert(hi[i], lo[i]) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // deepen increments the sampling depth and evicts non-conforming hashes.

@@ -65,6 +65,29 @@ func (v *Vector) Set(i int) bool {
 	return true
 }
 
+// GetUnchecked reports whether bit i is set, without the range check of
+// Get: the caller must have proven 0 ≤ i < Len(). The sketches' batch
+// ingestion paths use it for indexes produced by a multiply-shift onto the
+// vector length — in range by construction, proven once per batch rather
+// than re-checked per probe. Public callers should use Get.
+func (v *Vector) GetUnchecked(i int) bool {
+	return v.words[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SetUnchecked is Set without the range check of Set; the caller must have
+// proven 0 ≤ i < Len() (see GetUnchecked). It reports whether the bit was
+// previously clear.
+func (v *Vector) SetUnchecked(i int) bool {
+	mask := uint64(1) << (uint(i) & 63)
+	w := &v.words[uint(i)>>6]
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	v.ones++
+	return true
+}
+
 // Clear clears bit i and reports whether the bit was previously set.
 func (v *Vector) Clear(i int) bool {
 	if i < 0 || i >= v.n {

@@ -1,0 +1,50 @@
+package bitvec
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestUncheckedMatchesChecked drives an identical random op sequence
+// through the checked and unchecked probe/set pair and requires identical
+// observable state at every step.
+func TestUncheckedMatchesChecked(t *testing.T) {
+	r := xrand.New(99)
+	const n = 517 // not a multiple of 64: exercises the partial last word
+	a, b := New(n), New(n)
+	for step := 0; step < 20_000; step++ {
+		i := r.Intn(n)
+		if r.Uint64()&1 == 0 {
+			if a.Set(i) != b.SetUnchecked(i) {
+				t.Fatalf("step %d: Set(%d) disagrees with SetUnchecked", step, i)
+			}
+		} else {
+			if a.Get(i) != b.GetUnchecked(i) {
+				t.Fatalf("step %d: Get(%d) disagrees with GetUnchecked", step, i)
+			}
+		}
+	}
+	if !a.Equal(b) || a.Ones() != b.Ones() {
+		t.Fatalf("final state diverged: ones %d vs %d", a.Ones(), b.Ones())
+	}
+}
+
+func BenchmarkSetUnchecked(b *testing.B) {
+	v := New(1 << 16)
+	for i := 0; i < b.N; i++ {
+		v.SetUnchecked(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkGetUnchecked(b *testing.B) {
+	v := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		v.Set(i)
+	}
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = v.GetUnchecked(i & (1<<16 - 1))
+	}
+	_ = sink
+}

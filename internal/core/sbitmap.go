@@ -33,6 +33,8 @@ type Sketch struct {
 	// "u·2^−d < p" test (d = 30 in the paper's implementation sketch).
 	thresholds []uint64
 	dBits      uint
+
+	scr uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // Option configures optional Sketch behavior.
@@ -128,6 +130,51 @@ func (s *Sketch) AddUint64(item uint64) bool {
 func (s *Sketch) AddString(item string) bool {
 	hi, lo := s.h.Sum128String(item)
 	return s.insert(hi, lo)
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many changed
+// the sketch state. It is state-equivalent to calling AddUint64 on each
+// item in order, but hashes in chunks (one dispatch per uhash.BatchSize
+// items instead of one per item) and runs the insert loop with the fill
+// level and threshold table in locals.
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items; each hashes identically
+// to AddString of the same item.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+// insertBatch replays insert over a chunk of hashed items. Bucket indexes
+// come from a multiply-shift onto [0, m) = [0, Len()), which proves the
+// unchecked bit probes in range for the whole chunk.
+func (s *Sketch) insertBatch(hi, lo []uint64) int {
+	lo = lo[:len(hi)] // one bounds proof for the whole chunk
+	m := s.cfg.m
+	mm := uint64(m)
+	thresholds := s.thresholds
+	v := s.v
+	l := s.l
+	changed := 0
+	for i, h := range hi {
+		j, _ := bits.Mul64(h, mm)
+		if v.GetUnchecked(int(j)) {
+			continue
+		}
+		if l >= m {
+			continue
+		}
+		if lo[i] >= thresholds[l] {
+			continue
+		}
+		v.SetUnchecked(int(j))
+		l++
+		changed++
+	}
+	s.l = l
+	return changed
 }
 
 // insert implements lines 3–9 of Algorithm 2 given the two hash words.

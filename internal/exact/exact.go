@@ -20,6 +20,7 @@ import (
 type Counter struct {
 	set map[[2]uint64]struct{}
 	h   uhash.Hasher
+	scr uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // New returns an empty exact counter.
@@ -53,6 +54,28 @@ func (c *Counter) insert(hi, lo uint64) bool {
 	}
 	c.set[k] = struct{}{}
 	return true
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many were new;
+// state-equivalent to AddUint64 on each item in order, with the hashing
+// batched ahead of the set inserts.
+func (c *Counter) AddBatch64(items []uint64) int {
+	return uhash.Batch64(c.h, &c.scr, items, c.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (c *Counter) AddBatchString(items []string) int {
+	return uhash.BatchString(c.h, &c.scr, items, c.insertBatch)
+}
+
+func (c *Counter) insertBatch(hi, lo []uint64) int {
+	changed := 0
+	for i := range hi {
+		if c.insert(hi[i], lo[i]) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // Count returns the exact number of distinct items seen.

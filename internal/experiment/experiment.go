@@ -194,6 +194,32 @@ func Run(id string, o Options) (*Result, error) {
 // makeCounter builds a fresh sketch for one replicate.
 type makeCounter func(seed uint64) Counter
 
+// BatchCounter is the optional batch-ingestion face of a Counter,
+// mirroring the root package's BulkAdder uint64 surface; every sketch in
+// this module implements it.
+type BatchCounter interface {
+	AddBatch64(items []uint64) int
+}
+
+// ingestBufLen is the batch length of the harness's stream driver: large
+// enough to amortize dispatch, small enough (8 KiB) to stay cache-resident
+// alongside the sketch.
+const ingestBufLen = 1024
+
+// ingest drains st into sk, through the sketch's batch path when it has
+// one (all module sketches do) and item-at-a-time otherwise. Every
+// replicate of every experiment runs through here, so the reproduction
+// pipeline itself exercises — and its runtimes benefit from — the same
+// fused ingestion path production callers use.
+func ingest(sk Counter, st stream.Stream) {
+	if bc, ok := sk.(BatchCounter); ok {
+		buf := make([]uint64, ingestBufLen)
+		stream.ForEachBatch(st, buf, func(b []uint64) { bc.AddBatch64(b) })
+		return
+	}
+	stream.ForEach(st, func(x uint64) { sk.AddUint64(x) })
+}
+
 // cell measures the estimation-error distribution of one (sketch factory,
 // cardinality) cell: reps() replicates, each streaming n fresh distinct
 // items into a fresh sketch, in parallel. Distinct-only streams are used
@@ -213,8 +239,7 @@ func cell(o Options, mk makeCounter, n int, cellSeed uint64) *stats.ErrorSummary
 			defer func() { <-sem }()
 			seed := o.Seed ^ cellSeed ^ (uint64(rep+1) * 0x9e3779b97f4a7c15)
 			sk := mk(seed)
-			s := stream.NewDistinct(n, seed^0xabcdef12)
-			stream.ForEach(s, func(x uint64) { sk.AddUint64(x) })
+			ingest(sk, stream.NewDistinct(n, seed^0xabcdef12))
 			errs[rep] = sk.Estimate()/float64(n) - 1
 		}(rep)
 	}

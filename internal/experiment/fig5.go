@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/netflow"
 	"repro/internal/stats"
-	"repro/internal/stream"
 	"repro/internal/tablewriter"
 )
 
@@ -56,8 +55,7 @@ func estimateTrace(o Options, tr netflow.Trace, minutes []int, mk makeCounter) [
 			defer wg.Done()
 			defer func() { <-sem }()
 			sk := mk(o.Seed ^ (uint64(minute+1) * 0x9e3779b97f4a7c15))
-			s := tr.IntervalStream(minute)
-			stream.ForEach(s, func(x uint64) { sk.AddUint64(x) })
+			ingest(sk, tr.IntervalStream(minute))
 			ests[i] = sk.Estimate()
 		}(i, minute)
 	}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/netflow"
 	"repro/internal/stats"
-	"repro/internal/stream"
 	"repro/internal/tablewriter"
 )
 
@@ -163,8 +162,7 @@ func estimateLinks(o Options, links []int, mk makeCounter) []float64 {
 			defer wg.Done()
 			defer func() { <-sem }()
 			sk := mk(o.Seed ^ (uint64(i+1) * 0xbf58476d1ce4e5b9))
-			s := netflow.LinkStream(count, o.Seed^uint64(i)<<20)
-			stream.ForEach(s, func(x uint64) { sk.AddUint64(x) })
+			ingest(sk, netflow.LinkStream(count, o.Seed^uint64(i)<<20))
 			ests[i] = sk.Estimate()
 		}(i, count)
 	}

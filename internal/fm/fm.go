@@ -35,6 +35,7 @@ const registerBits = 32
 type Sketch struct {
 	reg []uint32
 	h   uhash.Hasher
+	scr uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // New returns an FM sketch with m registers, hashing with the default
@@ -95,6 +96,40 @@ func (s *Sketch) insert(bucketWord, geoWord uint64) bool {
 	}
 	s.reg[j] |= mask
 	return true
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many changed
+// a register bit; state-equivalent to AddUint64 on each item in order,
+// with chunked hashing and the register array in a local.
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+// insertBatch replays insert over a chunk of hashed items; the register
+// index is a multiply-shift onto [0, m), in range by construction.
+func (s *Sketch) insertBatch(hi, lo []uint64) int {
+	lo = lo[:len(hi)] // one bounds proof for the whole chunk
+	reg := s.reg
+	mm := uint64(len(reg))
+	changed := 0
+	for i, h := range hi {
+		j, _ := bits.Mul64(h, mm)
+		g := bits.TrailingZeros64(lo[i])
+		if g >= registerBits {
+			g = registerBits - 1
+		}
+		mask := uint32(1) << uint(g)
+		if reg[j]&mask == 0 {
+			reg[j] |= mask
+			changed++
+		}
+	}
+	return changed
 }
 
 // rank returns register j's R statistic: the position of its lowest 0 bit.

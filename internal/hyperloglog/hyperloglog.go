@@ -42,6 +42,7 @@ type Sketch struct {
 	kBits uint
 	alpha float64
 	h     uhash.Hasher
+	scr   uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // New returns a HyperLogLog sketch with m = 2^kBits registers, hashing
@@ -146,6 +147,40 @@ func (s *Sketch) insert(bucketWord, geoWord uint64) bool {
 	}
 	s.reg[j] = uint8(rank)
 	return true
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many grew a
+// register; state-equivalent to AddUint64 on each item in order, with
+// chunked hashing and the register array in a local.
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+// insertBatch replays insert over a chunk of hashed items; the bucket
+// index is a kBits-bit prefix, in range of the register array by
+// construction.
+func (s *Sketch) insertBatch(hi, lo []uint64) int {
+	lo = lo[:len(hi)] // one bounds proof for the whole chunk
+	reg := s.reg
+	shift := 64 - s.kBits
+	changed := 0
+	for i, h := range hi {
+		j := h >> shift
+		rank := bits.LeadingZeros64(lo[i]) + 1
+		if rank > maxRank {
+			rank = maxRank
+		}
+		if uint8(rank) > reg[j] {
+			reg[j] = uint8(rank)
+			changed++
+		}
+	}
+	return changed
 }
 
 // M returns the number of registers.

@@ -25,8 +25,9 @@ import (
 
 // Sketch is a linear counting bitmap. Not safe for concurrent use.
 type Sketch struct {
-	v *bitvec.Vector
-	h uhash.Hasher
+	v   *bitvec.Vector
+	h   uhash.Hasher
+	scr uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // New returns a linear counting sketch with m bits, hashing with the
@@ -92,6 +93,32 @@ func (s *Sketch) AddString(item string) bool {
 func (s *Sketch) insert(word uint64) bool {
 	j, _ := bits.Mul64(word, uint64(s.v.Len()))
 	return s.v.Set(int(j))
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many set a
+// fresh bucket; state-equivalent to AddUint64 on each item in order, with
+// chunked hashing and unchecked bit sets (the multiply-shift bucket index
+// is in range by construction).
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+func (s *Sketch) insertBatch(hi, _ []uint64) int {
+	v := s.v
+	mm := uint64(v.Len())
+	changed := 0
+	for _, h := range hi {
+		j, _ := bits.Mul64(h, mm)
+		if v.SetUnchecked(int(j)) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // Ones returns the number of set buckets.

@@ -65,7 +65,8 @@ const rhoSat = 2.5
 type Sketch struct {
 	comps []*bitvec.Vector // comps[k-1] is component k
 	h     uhash.Hasher
-	nBits int // total bits across components
+	nBits int           // total bits across components
+	scr   uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // Config fixes the component layout of a Sketch.
@@ -172,6 +173,38 @@ func (s *Sketch) insert(bucketWord, compWord uint64) bool {
 	comp := s.comps[k]
 	j, _ := bits.Mul64(bucketWord, uint64(comp.Len()))
 	return comp.Set(int(j))
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many changed
+// a bucket; state-equivalent to AddUint64 on each item in order, with
+// chunked hashing and unchecked bit sets (each component's multiply-shift
+// bucket index is in range of that component by construction).
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+func (s *Sketch) insertBatch(hi, lo []uint64) int {
+	lo = lo[:len(hi)] // one bounds proof for the whole chunk
+	comps := s.comps
+	last := len(comps) - 1
+	changed := 0
+	for i, h := range hi {
+		k := bits.TrailingZeros64(lo[i])
+		if k >= last {
+			k = last
+		}
+		comp := comps[k]
+		j, _ := bits.Mul64(h, uint64(comp.Len()))
+		if comp.SetUnchecked(int(j)) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // base returns the estimation base: the finest component whose fill is

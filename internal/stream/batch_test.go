@@ -1,0 +1,95 @@
+package stream
+
+import "testing"
+
+// drainBatch collects a stream through ForEachBatch with the given buffer
+// size.
+func drainBatch(s Stream, bufLen int) []uint64 {
+	var out []uint64
+	ForEachBatch(s, make([]uint64, bufLen), func(b []uint64) {
+		out = append(out, b...)
+	})
+	return out
+}
+
+// drainItems collects a stream through per-item Next.
+func drainItems(s Stream) []uint64 {
+	var out []uint64
+	ForEach(s, func(x uint64) { out = append(out, x) })
+	return out
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	mk := map[string]func() Stream{
+		"distinct":    func() Stream { return NewDistinct(1000, 7) },
+		"duplicated":  func() Stream { return NewDuplicated(300, 1000, DupZipf, 7) },
+		"interleaved": func() Stream { return NewInterleaved(300, 1000, DupUniform, 7) },
+		"empty":       func() Stream { return NewDistinct(0, 7) },
+	}
+	for name, f := range mk {
+		want := drainItems(f())
+		for _, bufLen := range []int{1, 7, 256, 4096} {
+			got := drainBatch(f(), bufLen)
+			if len(got) != len(want) {
+				t.Fatalf("%s bufLen=%d: batch drained %d items, per-item %d", name, bufLen, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s bufLen=%d: item %d = %#x, want %#x", name, bufLen, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// fallbackStream deliberately lacks NextBatch to exercise ForEachBatch's
+// per-item fallback.
+type fallbackStream struct{ d *Distinct }
+
+func (f *fallbackStream) Next() (uint64, bool) { return f.d.Next() }
+func (f *fallbackStream) Distinct() int        { return f.d.Distinct() }
+
+func TestForEachBatchFallback(t *testing.T) {
+	want := drainItems(NewDistinct(100, 3))
+	got := drainBatch(&fallbackStream{NewDistinct(100, 3)}, 33)
+	if len(got) != len(want) {
+		t.Fatalf("fallback drained %d items, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fallback item %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachBatchEmptyBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty buffer")
+		}
+	}()
+	ForEachBatch(NewDistinct(1, 1), nil, func([]uint64) {})
+}
+
+func BenchmarkDistinctNext(b *testing.B) {
+	s := NewDistinct(1<<30, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		x, _ := s.Next()
+		sink ^= x
+	}
+	_ = sink
+}
+
+func BenchmarkDistinctNextBatch(b *testing.B) {
+	s := NewDistinct(1<<30, 1)
+	buf := make([]uint64, 1024)
+	for rem := b.N; rem > 0; {
+		n := len(buf)
+		if rem < n {
+			n = rem
+		}
+		s.NextBatch(buf[:n])
+		rem -= n
+	}
+}

@@ -36,6 +36,50 @@ func ForEach(s Stream, fn func(uint64)) {
 	}
 }
 
+// BatchStream is optionally implemented by streams that can fill a caller
+// buffer in one call, avoiding an interface dispatch per item. NextBatch
+// must yield exactly the items Next would, in order.
+type BatchStream interface {
+	Stream
+	// NextBatch fills dst with up to len(dst) items and returns how many
+	// were produced; 0 means the stream is exhausted (given len(dst) > 0).
+	NextBatch(dst []uint64) int
+}
+
+// ForEachBatch drains s through fn in batches of at most len(buf) items,
+// using the stream's native NextBatch when it has one. The batch passed to
+// fn aliases buf and is only valid until fn returns. Panics if buf is
+// empty.
+func ForEachBatch(s Stream, buf []uint64, fn func(batch []uint64)) {
+	if len(buf) == 0 {
+		panic("stream: ForEachBatch with empty buffer")
+	}
+	if bs, ok := s.(BatchStream); ok {
+		for {
+			n := bs.NextBatch(buf)
+			if n == 0 {
+				return
+			}
+			fn(buf[:n])
+		}
+	}
+	for {
+		n := 0
+		for n < len(buf) {
+			item, ok := s.Next()
+			if !ok {
+				break
+			}
+			buf[n] = item
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		fn(buf[:n])
+	}
+}
+
 // Distinct is a stream of exactly n distinct items, each appearing once.
 // Item identities are scrambled mixes of a per-stream base, so two streams
 // with different seeds are disjoint with overwhelming probability.
@@ -64,6 +108,24 @@ func (d *Distinct) Next() (uint64, bool) {
 	item := xrand.Mix64(d.base + uint64(d.i))
 	d.i++
 	return item, true
+}
+
+// NextBatch implements BatchStream: the whole chunk is generated in one
+// mixing loop with no per-item dispatch.
+func (d *Distinct) NextBatch(dst []uint64) int {
+	n := d.n - d.i
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	base := d.base + uint64(d.i)
+	for k := range dst[:n] {
+		dst[k] = xrand.Mix64(base + uint64(k))
+	}
+	d.i += n
+	return n
 }
 
 // Distinct implements Stream.
@@ -136,6 +198,21 @@ func (d *Duplicated) Next() (uint64, bool) {
 	return item, true
 }
 
+// NextBatch implements BatchStream.
+func (d *Duplicated) NextBatch(dst []uint64) int {
+	n := 0
+	for n < len(dst) && d.i < d.length {
+		if d.i < len(d.items) {
+			dst[n] = d.items[d.i] // cover each distinct item once, first
+		} else {
+			dst[n] = d.pick()
+		}
+		d.i++
+		n++
+	}
+	return n
+}
+
 // Distinct implements Stream.
 func (d *Duplicated) Distinct() int { return len(d.items) }
 
@@ -167,6 +244,14 @@ func (s *Interleaved) Next() (uint64, bool) {
 	item := s.items[s.i]
 	s.i++
 	return item, true
+}
+
+// NextBatch implements BatchStream: a straight copy out of the
+// materialized stream.
+func (s *Interleaved) NextBatch(dst []uint64) int {
+	n := copy(dst, s.items[s.i:])
+	s.i += n
+	return n
 }
 
 // Distinct implements Stream.

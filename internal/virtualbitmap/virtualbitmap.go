@@ -25,7 +25,8 @@ type Sketch struct {
 	v         *bitvec.Vector
 	h         uhash.Hasher
 	rate      float64
-	threshold uint64 // sampling acceptance threshold on the low hash word
+	threshold uint64        // sampling acceptance threshold on the low hash word
+	scr       uhash.Scratch // reusable batch hash buffers (not serialized)
 }
 
 // New returns a virtual bitmap with m bits and sampling rate rate in
@@ -98,6 +99,37 @@ func (s *Sketch) insert(bucketWord, sampleWord uint64) bool {
 	}
 	j, _ := bits.Mul64(bucketWord, uint64(s.v.Len()))
 	return s.v.Set(int(j))
+}
+
+// AddBatch64 offers a slice of 64-bit items and returns how many changed
+// the bitmap; state-equivalent to AddUint64 on each item in order, with
+// chunked hashing, the sampling threshold in a local, and unchecked bit
+// sets (the multiply-shift bucket index is in range by construction).
+func (s *Sketch) AddBatch64(items []uint64) int {
+	return uhash.Batch64(s.h, &s.scr, items, s.insertBatch)
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (s *Sketch) AddBatchString(items []string) int {
+	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
+}
+
+func (s *Sketch) insertBatch(hi, lo []uint64) int {
+	lo = lo[:len(hi)] // one bounds proof for the whole chunk
+	v := s.v
+	mm := uint64(v.Len())
+	thr := s.threshold
+	changed := 0
+	for i, h := range hi {
+		if lo[i] >= thr {
+			continue
+		}
+		j, _ := bits.Mul64(h, mm)
+		if v.SetUnchecked(int(j)) {
+			changed++
+		}
+	}
+	return changed
 }
 
 // Rate returns the configured sampling rate.

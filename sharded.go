@@ -31,6 +31,11 @@ type Sharded struct {
 	seed   uint64 // router/base seed, serialized with snapshots
 	n      float64
 	eps    float64
+
+	// scratch pools the partition buffers of in-flight batches (a pointer
+	// so snapshot restore can assign the struct without copying the pool's
+	// internal state). Steady-state batch ingest is allocation-free.
+	scratch *sync.Pool
 }
 
 type shard struct {
@@ -98,9 +103,10 @@ func NewShardedFrom(shards int, factory func(i int) (Counter, error), opts ...Op
 	}
 	o := buildOptions(opts)
 	s := &Sharded{
-		shards: make([]shard, shards),
-		router: uhash.NewMixer(routerSeed(o.seed)),
-		seed:   o.seed,
+		shards:  make([]shard, shards),
+		router:  uhash.NewMixer(routerSeed(o.seed)),
+		seed:    o.seed,
+		scratch: &sync.Pool{},
 	}
 	for i := range s.shards {
 		sk, err := factory(i)
@@ -154,10 +160,173 @@ func (s *Sharded) AddString(item string) bool {
 	return changed
 }
 
+// shardScratch holds the partition buffers of one in-flight batch: the
+// router words (reused as shard indexes), the items regrouped
+// shard-contiguously, and the per-shard counting-sort bookkeeping.
+type shardScratch struct {
+	route  []uint64 // router high words, then shard indexes, one per item
+	flat   []uint64 // uint64 items grouped by shard
+	flatS  []string // string items grouped by shard
+	counts []int    // items per shard
+	offs   []int    // scatter cursors (prefix sums of counts)
+}
+
+// getScratch leases partition buffers sized for an n-item batch. Buffers
+// grow to the largest batch seen and are then reused, so steady-state
+// ingest allocates nothing.
+func (s *Sharded) getScratch(n int) *shardScratch {
+	sc, _ := s.scratch.Get().(*shardScratch)
+	if sc == nil {
+		sc = &shardScratch{}
+	}
+	if cap(sc.route) < n {
+		sc.route = make([]uint64, n)
+	}
+	if cap(sc.counts) < len(s.shards) {
+		sc.counts = make([]int, len(s.shards))
+		sc.offs = make([]int, len(s.shards))
+	}
+	return sc
+}
+
+// putScratch returns leased buffers to the pool, dropping any string
+// references so the pool cannot pin a caller's batch in memory.
+func (s *Sharded) putScratch(sc *shardScratch) {
+	clear(sc.flatS)
+	s.scratch.Put(sc)
+}
+
+// partition routes every item in one pass: route[i] becomes the shard
+// index of item i and counts/offs are left as the counting-sort layout
+// (offs[k] = start of shard k's segment in a flat scatter target).
+func (s *Sharded) partition(sc *shardScratch, n int) (route []uint64, counts, offs []int) {
+	route = sc.route[:n]
+	nShards := uint64(len(s.shards))
+	counts = sc.counts[:len(s.shards)]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, w := range route {
+		// Same multiply-shift as route(): top 32 hash bits onto [0, shards).
+		idx := ((w >> 32) * nShards) >> 32
+		route[i] = idx
+		counts[idx]++
+	}
+	offs = sc.offs[:len(s.shards)]
+	sum := 0
+	for i, c := range counts {
+		offs[i] = sum
+		sum += c
+	}
+	return route, counts, offs
+}
+
+// AddBatch64 implements BulkAdder with shard-grouped locking: one routing
+// pass computes every item's shard, a counting sort groups the batch
+// shard-contiguously in reused scratch, and each touched shard's lock is
+// taken once per batch (not once per item) around its native batch insert.
+// Safe for concurrent use; state-equivalent to per-item AddUint64 because
+// shards are independent and per-shard item order is preserved.
+func (s *Sharded) AddBatch64(items []uint64) int {
+	if len(items) == 0 {
+		return 0
+	}
+	sc := s.getScratch(len(items))
+	defer s.putScratch(sc)
+	s.router.Sum128Uint64Batch(items, sc.route[:len(items)], nil)
+	route, counts, offs := s.partition(sc, len(items))
+	if cap(sc.flat) < len(items) {
+		sc.flat = make([]uint64, len(items))
+	}
+	flat := sc.flat[:len(items)]
+	for i, item := range items {
+		idx := route[i]
+		flat[offs[idx]] = item
+		offs[idx]++
+	}
+	return drainSegments(s.shards, counts, offs, func(sh *shard, start, end int) int {
+		return AddBatch64(sh.sk, flat[start:end])
+	})
+}
+
+// drainSegments feeds each shard its segment of a partitioned batch
+// (segment i is [offs[i]−counts[i], offs[i]) after the scatter advanced
+// offs to segment ends). Shards are visited opportunistically: each sweep
+// TryLocks the still-pending shards, so concurrent batches fan out across
+// different shards instead of convoying in index order behind one lock; a
+// sweep that finds every pending shard busy blocks on the first one rather
+// than spinning. Visit order does not affect the final state — segments
+// touch disjoint shards. counts is consumed (zeroed) as segments drain.
+func drainSegments(shards []shard, counts, offs []int, ingest func(sh *shard, start, end int) int) int {
+	changed := 0
+	pending := 0
+	for _, c := range counts {
+		if c > 0 {
+			pending++
+		}
+	}
+	for pending > 0 {
+		progressed := false
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			sh := &shards[i]
+			if !sh.mu.TryLock() {
+				continue
+			}
+			changed += ingest(sh, offs[i]-c, offs[i])
+			sh.mu.Unlock()
+			counts[i] = 0
+			pending--
+			progressed = true
+		}
+		if !progressed {
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				sh := &shards[i]
+				sh.mu.Lock()
+				changed += ingest(sh, offs[i]-c, offs[i])
+				sh.mu.Unlock()
+				counts[i] = 0
+				pending--
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// AddBatchString implements BulkAdder for string items; see AddBatch64.
+func (s *Sharded) AddBatchString(items []string) int {
+	if len(items) == 0 {
+		return 0
+	}
+	sc := s.getScratch(len(items))
+	defer s.putScratch(sc)
+	s.router.Sum128StringBatch(items, sc.route[:len(items)], nil)
+	route, counts, offs := s.partition(sc, len(items))
+	if cap(sc.flatS) < len(items) {
+		sc.flatS = make([]string, len(items))
+	}
+	flat := sc.flatS[:len(items)]
+	for i, item := range items {
+		idx := route[i]
+		flat[offs[idx]] = item
+		offs[idx]++
+	}
+	return drainSegments(s.shards, counts, offs, func(sh *shard, start, end int) int {
+		return AddBatchString(sh.sk, flat[start:end])
+	})
+}
+
 // Estimate returns the summed shard estimates; safe for concurrent use
-// (it locks shards one at a time, so it is a consistent snapshot only if
-// no concurrent Adds run — the usual monitoring pattern reads at interval
-// boundaries).
+// (it locks shards one at a time — never more than one shard lock is held,
+// and each only for the duration of one Estimate call — so it is a
+// consistent snapshot only if no concurrent Adds run; the usual monitoring
+// pattern reads at interval boundaries).
 func (s *Sharded) Estimate() float64 {
 	var total float64
 	for i := range s.shards {
@@ -285,9 +454,10 @@ func unmarshalSharded(payload []byte, opts []Option) (*Sharded, error) {
 		return nil, errors.New("sbitmap: truncated sharded snapshot")
 	}
 	s := &Sharded{
-		n:    math.Float64frombits(binary.LittleEndian.Uint64(payload)),
-		eps:  math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
-		seed: binary.LittleEndian.Uint64(payload[16:]),
+		n:       math.Float64frombits(binary.LittleEndian.Uint64(payload)),
+		eps:     math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		seed:    binary.LittleEndian.Uint64(payload[16:]),
+		scratch: &sync.Pool{},
 	}
 	count := int(binary.LittleEndian.Uint32(payload[24:]))
 	if count < 1 || count > 1<<20 {

@@ -103,6 +103,31 @@ func (w *Windowed) AddString(ts time.Time, item string) bool {
 	return w.current.AddString(item)
 }
 
+// AddBatch64 offers a batch of items all observed at ts and returns how
+// many changed the current window's sketch. One rotation check covers the
+// whole batch (instead of one per item), and the wrapped sketch ingests
+// through its native batch path. State-equivalent to calling AddUint64
+// with ts on each item in order.
+func (w *Windowed) AddBatch64(ts time.Time, items []uint64) int {
+	if len(items) == 0 {
+		return 0
+	}
+	w.roll(ts)
+	w.observed = true
+	return AddBatch64(w.current, items)
+}
+
+// AddBatchString offers a batch of string items all observed at ts; see
+// AddBatch64.
+func (w *Windowed) AddBatchString(ts time.Time, items []string) int {
+	if len(items) == 0 {
+		return 0
+	}
+	w.roll(ts)
+	w.observed = true
+	return AddBatchString(w.current, items)
+}
+
 // roll closes windows until ts falls inside the current one.
 func (w *Windowed) roll(ts time.Time) {
 	if !w.started {
