@@ -262,6 +262,7 @@ func (f fallbackOnly) AddUint64(item uint64) bool { return f.c.AddUint64(item) }
 func (f fallbackOnly) AddString(item string) bool { return f.c.AddString(item) }
 func (f fallbackOnly) Estimate() float64          { return f.c.Estimate() }
 func (f fallbackOnly) SizeBits() int              { return f.c.SizeBits() }
+func (f fallbackOnly) Footprint() int             { return f.c.Footprint() }
 func (f fallbackOnly) Reset()                     { f.c.Reset() }
 
 // TestAddBatchFallback: a foreign Counter without a native batch path goes
@@ -341,6 +342,10 @@ func TestShardedBatchConcurrentStress(t *testing.T) {
 				return
 			default:
 				_ = s.Estimate()
+				if fp := s.Footprint(); fp <= 0 {
+					t.Errorf("concurrent footprint %d", fp)
+					return
+				}
 				if _, err := s.MarshalBinary(); err != nil {
 					t.Errorf("concurrent marshal: %v", err)
 					return

@@ -63,6 +63,7 @@ func main() {
 	fmt.Printf("  epsilon  %.4f (%.2f%% RRMSE, scale-invariant over [1, N])\n", cfg.Epsilon(), 100*cfg.Epsilon())
 	fmt.Printf("  r        %.8f\n", cfg.R())
 	fmt.Printf("  k*       %d (truncation point m - C/2)\n", cfg.KMax())
+	fmt.Printf("  aux      %d bytes of schedule state (closed form: rates and estimates computed on demand, no per-bucket tables)\n", cfg.AuxBytes())
 	fmt.Printf("  spec     %s\n\n", sbitmap.Spec{Kind: sbitmap.KindSBitmap, N: cfg.N(), MemoryBits: cfg.M()})
 
 	fmt.Printf("sampling-rate schedule p_k = m/(m+1-k)·(1+1/C)·r^k:\n")

@@ -48,7 +48,7 @@ func main() {
 		compare  = flag.String("compare", "", "semicolon-separated sketch specs for an ad-hoc accuracy comparison")
 		distinct = flag.Int("distinct", 100_000, "true distinct count for -compare")
 		reps     = flag.Int("reps", 20, "replicates per spec for -compare")
-		jsonOut  = flag.String("json", "", "with -run throughput: also write the report as JSON to this file (e.g. BENCH_throughput.json)")
+		jsonOut  = flag.String("json", "", "with -run throughput/memory: also write the report as JSON to this file (e.g. BENCH_throughput.json)")
 	)
 	flag.Parse()
 
@@ -68,6 +68,14 @@ func main() {
 		return
 	}
 
+	if *run == "memory" {
+		if err := runMemory(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -75,6 +83,8 @@ func main() {
 		}
 		fmt.Printf("  %-16s %s\n", "throughput",
 			"ingest throughput benchmark (items/sec per sketch × mode × key; -json writes BENCH_throughput.json)")
+		fmt.Printf("  %-16s %s\n", "memory",
+			"per-sketch memory + construction benchmark (bytes and ns across the zoo; -json writes BENCH_memory.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

@@ -47,6 +47,9 @@ func (c *HyperLogLog) Estimate() float64 { return c.sk.Estimate() }
 // SizeBits returns the summary memory footprint in bits.
 func (c *HyperLogLog) SizeBits() int { return c.sk.SizeBits() }
 
+// Footprint returns the counter's resident process memory in bytes.
+func (c *HyperLogLog) Footprint() int { return c.sk.Footprint() }
+
 // Reset clears the counter for reuse.
 func (c *HyperLogLog) Reset() { c.sk.Reset() }
 
@@ -99,6 +102,9 @@ func (c *LogLog) Estimate() float64 { return c.sk.Estimate() }
 // SizeBits returns the summary memory footprint in bits.
 func (c *LogLog) SizeBits() int { return c.sk.SizeBits() }
 
+// Footprint returns the counter's resident process memory in bytes.
+func (c *LogLog) Footprint() int { return c.sk.Footprint() }
+
 // Reset clears the counter for reuse.
 func (c *LogLog) Reset() { c.sk.Reset() }
 
@@ -147,6 +153,9 @@ func (c *FM) Estimate() float64 { return c.sk.Estimate() }
 // SizeBits returns the summary memory footprint in bits.
 func (c *FM) SizeBits() int { return c.sk.SizeBits() }
 
+// Footprint returns the counter's resident process memory in bytes.
+func (c *FM) Footprint() int { return c.sk.Footprint() }
+
 // Reset clears the counter for reuse.
 func (c *FM) Reset() { c.sk.Reset() }
 
@@ -194,6 +203,9 @@ func (c *LinearCounting) Estimate() float64 { return c.sk.Estimate() }
 
 // SizeBits returns the summary memory footprint in bits.
 func (c *LinearCounting) SizeBits() int { return c.sk.SizeBits() }
+
+// Footprint returns the counter's resident process memory in bytes.
+func (c *LinearCounting) Footprint() int { return c.sk.Footprint() }
 
 // Reset clears the counter for reuse.
 func (c *LinearCounting) Reset() { c.sk.Reset() }
@@ -247,6 +259,9 @@ func (c *VirtualBitmap) Estimate() float64 { return c.sk.Estimate() }
 // SizeBits returns the summary memory footprint in bits.
 func (c *VirtualBitmap) SizeBits() int { return c.sk.SizeBits() }
 
+// Footprint returns the counter's resident process memory in bytes.
+func (c *VirtualBitmap) Footprint() int { return c.sk.Footprint() }
+
 // Reset clears the counter for reuse.
 func (c *VirtualBitmap) Reset() { c.sk.Reset() }
 
@@ -288,6 +303,9 @@ func (c *MRBitmap) Estimate() float64 { return c.sk.Estimate() }
 
 // SizeBits returns the summary memory footprint in bits.
 func (c *MRBitmap) SizeBits() int { return c.sk.SizeBits() }
+
+// Footprint returns the counter's resident process memory in bytes.
+func (c *MRBitmap) Footprint() int { return c.sk.Footprint() }
 
 // Reset clears the counter for reuse.
 func (c *MRBitmap) Reset() { c.sk.Reset() }
@@ -342,6 +360,9 @@ func (c *AdaptiveSampler) Estimate() float64 { return c.sk.Estimate() }
 // SizeBits returns the memory footprint under the comparison accounting.
 func (c *AdaptiveSampler) SizeBits() int { return c.sk.SizeBits() }
 
+// Footprint returns the counter's resident process memory in bytes.
+func (c *AdaptiveSampler) Footprint() int { return c.sk.Footprint() }
+
 // Reset clears the counter for reuse.
 func (c *AdaptiveSampler) Reset() { c.sk.Reset() }
 
@@ -383,6 +404,9 @@ func (c *Exact) Count() int { return c.c.Count() }
 
 // SizeBits returns the fingerprint-storage footprint (128 bits per item).
 func (c *Exact) SizeBits() int { return c.c.SizeBits() }
+
+// Footprint returns the counter's resident process memory in bytes.
+func (c *Exact) Footprint() int { return c.c.Footprint() }
 
 // Reset clears the counter for reuse.
 func (c *Exact) Reset() { c.c.Reset() }

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"unsafe"
 
 	"repro/internal/uhash"
 )
@@ -148,6 +149,14 @@ func (s *Sampler) Estimate() float64 {
 // 64 bits per retained-hash slot, counting capacity (the allocation), as
 // the paper's ε⁻²·log N classification does.
 func (s *Sampler) SizeBits() int { return s.capacity * 64 }
+
+// Footprint returns the sampler's resident process memory in bytes: the
+// struct, the fingerprint set (estimated at Go's map cost of roughly
+// key + 16 bytes of bucket overhead per CAPACITY slot — the map grows to
+// capacity and stays there), and the batch-hash scratch.
+func (s *Sampler) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + s.capacity*(8+16) + s.scr.Footprint()
+}
 
 // Reset clears the sampler for reuse.
 func (s *Sampler) Reset() {

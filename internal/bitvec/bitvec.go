@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"unsafe"
 )
 
 // Vector is a fixed-length bit vector. The zero value is an empty vector of
@@ -250,3 +251,8 @@ func (v *Vector) UnmarshalBinary(data []byte) error {
 // This is the quantity the paper's memory accounting uses (it excludes Go
 // object headers, as the paper excludes hash seeds).
 func (v *Vector) SizeBits() int { return v.n }
+
+// Footprint returns the vector's resident process memory in bytes: the
+// struct plus the backing word array at capacity. Unlike SizeBits it counts
+// what the process actually holds, not just the abstract bit count.
+func (v *Vector) Footprint() int { return int(unsafe.Sizeof(*v)) + 8*cap(v.words) }

@@ -3,7 +3,44 @@ package core
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// rateTable is the table-backed schedule: explicit p and t arrays, one
+// entry per bucket. It backs NewConfigRates (arbitrary rates have no closed
+// form) and TabulateConfig; Theorem-2 configs use closedForm instead and
+// carry no O(m) state.
+type rateTable struct {
+	// p[k-1] is the sampling rate p_k used when the bitmap holds k−1 ones.
+	p []float64
+	// t[b] = t_b, the estimate emitted when B = b; t[0] = 0.
+	t []float64
+}
+
+func (s *rateTable) rate(k int) float64     { return s.p[k-1] }
+func (s *rateTable) estimate(b int) float64 { return s.t[b] }
+func (s *rateTable) auxBytes() int {
+	return int(unsafe.Sizeof(*s)) + 8*(cap(s.p)+cap(s.t))
+}
+
+// TabulateConfig returns a Config with the same dimensioning as cfg but
+// backed by explicit rate and estimator tables — the representation every
+// Config had before the closed-form schedule, rebuilt by evaluating the
+// schedule at every index. It exists as the oracle of the golden
+// equivalence tests and as the worst-case datapoint of the memory
+// benchmark; production code has no reason to call it.
+func TabulateConfig(cfg *Config) *Config {
+	tab := &rateTable{p: make([]float64, cfg.m), t: make([]float64, cfg.m+1)}
+	for k := 1; k <= cfg.m; k++ {
+		tab.p[k-1] = cfg.sched.rate(k)
+	}
+	for b := 0; b <= cfg.m; b++ {
+		tab.t[b] = cfg.sched.estimate(b)
+	}
+	out := *cfg
+	out.sched = tab
+	return &out
+}
 
 // NewConfigRates builds a Config from an explicit, caller-supplied rate
 // schedule p[0..m-1] (p[k-1] = p_k). The estimator table is derived from
@@ -33,19 +70,22 @@ func NewConfigRates(m int, p []float64) (*Config, error) {
 		}
 	}
 	cfg := &Config{m: m, kMax: m}
-	cfg.p = append([]float64(nil), p...)
-	cfg.t = make([]float64, m+1)
+	tab := &rateTable{
+		p: append([]float64(nil), p...),
+		t: make([]float64, m+1),
+	}
 	sum := 0.0
 	for k := 1; k <= m; k++ {
-		q := (1 - float64(k-1)/float64(m)) * cfg.p[k-1]
+		q := (1 - float64(k-1)/float64(m)) * tab.p[k-1]
 		sum += 1 / q
-		cfg.t[k] = sum
+		tab.t[k] = sum
 	}
-	cfg.n = cfg.t[m]
+	cfg.sched = tab
+	cfg.n = tab.t[m]
 	// Effective C is not constant under arbitrary rates; report the value
 	// implied by the first step so Epsilon remains meaningful as a rough
 	// scale, and flag the config as custom via r = 0.
-	cfg.c = math.Max(2+1e-9, 1/math.Max(1e-12, 1-cfg.p[0]))
+	cfg.c = math.Max(2+1e-9, 1/math.Max(1e-12, 1-tab.p[0]))
 	cfg.r = 0
 	return cfg, nil
 }

@@ -8,11 +8,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Config holds a fully dimensioned S-bitmap parameterization. A Config is
 // immutable after construction and may be shared by any number of Sketch
-// instances (the rate and estimator tables are read-only).
+// instances (the rate schedule is read-only).
 //
 // The three primary quantities are tied together by Equation (7) of the
 // paper,
@@ -30,13 +31,70 @@ type Config struct {
 	r    float64 // geometric ratio r = 1 − 2/(C+1)
 	kMax int     // truncation index k* = m − C/2 (Section 5.1 remark)
 
-	// p[k-1] is the sampling rate p_k used when the bitmap holds k−1 ones,
-	// k = 1..m; constant at p[kMax-1] beyond the truncation point so the
-	// monotonicity condition of Lemma 1 holds.
-	p []float64
-	// t[b] = t_b = E T_b, the estimate emitted when B = b; t[0] = 0.
-	t []float64
+	// sched supplies the sampling rates p_k and estimator values t_b.
+	// Theorem-2 configs use the O(1) closed form; NewConfigRates keeps
+	// explicit tables for the ablation experiments.
+	sched schedule
 }
+
+// schedule supplies a Config's sampling rates and estimator values.
+//
+// The interface exists so the auxiliary state can be O(1): the paper's
+// memory claims (Table 2, "about 30 kilobits" for 1% error up to 10^6)
+// count only the m bitmap bits, and the closed-form implementation keeps
+// the process honest by attaching no per-bucket side tables. Only the
+// ablation path (NewConfigRates, which must honor arbitrary caller-supplied
+// rates) pays for tables.
+type schedule interface {
+	// rate returns p_k for k in [1, m]; bounds are the caller's problem.
+	rate(k int) float64
+	// estimate returns t_b for b in [0, m].
+	estimate(b int) float64
+	// auxBytes returns the schedule's resident auxiliary memory in bytes.
+	auxBytes() int
+}
+
+// closedForm evaluates the Theorem 2 schedule on demand:
+//
+//	p_k = m/(m+1−k) · (1+1/C) · r^k          (held constant past k*)
+//	t_b = C/2 · (r^{−b} − 1)                 (truncated at k*)
+//
+// Each evaluation is one math.Exp plus a handful of multiplies, and the
+// Sketch consults it only on 0→1 transitions (at most m times over a
+// sketch's lifetime), so no caller ever needs the values tabulated.
+// The arithmetic is ordered exactly as the original table builder's loop
+// body was, so the values are bit-identical to the tables it produced
+// (asserted by the golden equivalence tests).
+type closedForm struct {
+	m, kMax int
+	logR    float64 // ln r
+	scale   float64 // 1 + 1/C
+	halfC   float64 // C/2
+}
+
+func (s closedForm) rate(k int) float64 {
+	if k > s.kMax {
+		k = s.kMax
+	}
+	q := s.scale * math.Exp(float64(k)*s.logR)
+	p := q * float64(s.m) / float64(s.m+1-k)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func (s closedForm) estimate(b int) float64 {
+	if b > s.kMax {
+		b = s.kMax
+	}
+	if b == 0 {
+		return 0
+	}
+	return s.halfC * (math.Exp(-float64(b)*s.logR) - 1)
+}
+
+func (s closedForm) auxBytes() int { return int(unsafe.Sizeof(s)) }
 
 // minC is the smallest admissible C. C must exceed 1 for the RRMSE
 // (C−1)^(−1/2) to be finite; we additionally require C > 2 so the
@@ -132,7 +190,9 @@ func MemoryForNE(n, epsilon float64) (int, error) {
 	return int(math.Ceil(eq7(c, n))), nil
 }
 
-// newConfig builds the rate and estimator tables for validated (m, N, C).
+// newConfig validates (m, N, C) and attaches the closed-form schedule.
+// Construction is O(1): no per-bucket table is built, so dimensioning a
+// sketch costs the same whether m is 8 bits or 8 megabits.
 func newConfig(m int, n, c float64) (*Config, error) {
 	if c <= minC {
 		return nil, fmt.Errorf("core: solved C = %g is not > 1; parameters infeasible", c)
@@ -146,34 +206,9 @@ func newConfig(m int, n, c float64) (*Config, error) {
 		kMax = m
 	}
 	cfg := &Config{m: m, n: n, c: c, r: r, kMax: kMax}
-
 	// q_k = (1 + 1/C) r^k; p_k = q_k · m/(m+1−k), held constant for
 	// k > k* per the Section 5.1 remark so Lemma 1's monotonicity holds.
-	cfg.p = make([]float64, m)
-	logR := math.Log(r)
-	scale := 1 + 1/c
-	for k := 1; k <= m; k++ {
-		kk := k
-		if kk > kMax {
-			kk = kMax
-		}
-		q := scale * math.Exp(float64(kk)*logR)
-		p := q * float64(m) / float64(m+1-kk)
-		if p > 1 {
-			p = 1
-		}
-		cfg.p[k-1] = p
-	}
-
-	// t_b = C/2 (r^{−b} − 1) in closed form (proof of Theorem 2).
-	cfg.t = make([]float64, m+1)
-	for b := 1; b <= m; b++ {
-		bb := b
-		if bb > kMax {
-			bb = kMax
-		}
-		cfg.t[b] = c / 2 * (math.Exp(-float64(bb)*logR) - 1)
-	}
+	cfg.sched = closedForm{m: m, kMax: kMax, logR: math.Log(r), scale: 1 + 1/c, halfC: c / 2}
 	return cfg, nil
 }
 
@@ -203,7 +238,7 @@ func (c *Config) P(k int) float64 {
 	if k < 1 || k > c.m {
 		panic(fmt.Sprintf("core: rate index %d outside [1, %d]", k, c.m))
 	}
-	return c.p[k-1]
+	return c.sched.rate(k)
 }
 
 // Q returns q_k = (1 − (k−1)/m)·p_k, the probability that a NEW distinct
@@ -212,7 +247,7 @@ func (c *Config) Q(k int) float64 {
 	if k < 1 || k > c.m {
 		panic(fmt.Sprintf("core: rate index %d outside [1, %d]", k, c.m))
 	}
-	return (1 - float64(k-1)/float64(c.m)) * c.p[k-1]
+	return (1 - float64(k-1)/float64(c.m)) * c.sched.rate(k)
 }
 
 // T returns the estimator value t_b emitted when b buckets are filled;
@@ -221,5 +256,11 @@ func (c *Config) T(b int) float64 {
 	if b < 0 || b > c.m {
 		panic(fmt.Sprintf("core: estimator index %d outside [0, %d]", b, c.m))
 	}
-	return c.t[b]
+	return c.sched.estimate(b)
 }
+
+// AuxBytes returns the resident memory of the configuration's auxiliary
+// state — everything beyond the m bitmap bits a Sketch itself holds. It is
+// a small constant for Theorem-2 configs (the closed-form schedule) and
+// O(m) for NewConfigRates configs (explicit tables).
+func (c *Config) AuxBytes() int { return int(unsafe.Sizeof(*c)) + c.sched.auxBytes() }

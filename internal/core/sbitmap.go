@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/bitvec"
 	"repro/internal/uhash"
@@ -26,13 +27,20 @@ type Sketch struct {
 	v   *bitvec.Vector
 	l   int // number of ones, the paper's L
 
-	// thresholds[k] is the 64-bit scaled acceptance threshold for p_{k+1}:
-	// an item is sampled at fill level k iff u < thresholds[k] where u is
-	// the 64-bit sampling word. With dBits < 64, u is first truncated to
-	// its top dBits bits, reproducing the paper's finite-resolution
+	// cur is the 64-bit scaled acceptance threshold for the CURRENT fill
+	// level: an item is sampled at level L iff u < cur, where u is the
+	// 64-bit sampling word. With dBits < 64, the threshold is quantized to
+	// the top dBits bits, reproducing the paper's finite-resolution
 	// "u·2^−d < p" test (d = 30 in the paper's implementation sketch).
-	thresholds []uint64
-	dBits      uint
+	//
+	// Because L only ever moves forward one step at a time, this single
+	// register replaces the per-level threshold table: cur is advanced via
+	// the closed-form schedule on each 0→1 transition — at most m
+	// recomputations (one exp each) over the sketch's whole lifetime, so
+	// the auxiliary state stays O(1) and the hot path compares against a
+	// register instead of loading from an O(m) table.
+	cur   uint64
+	dBits uint
 
 	scr uhash.Scratch // reusable batch hash buffers (not serialized)
 }
@@ -73,22 +81,32 @@ func NewSketch(cfg *Config, seed uint64, opts ...Option) *Sketch {
 		panic(fmt.Sprintf("core: sampling resolution d = %d outside [1, 64]", o.dBits))
 	}
 	s := &Sketch{
-		cfg:        cfg,
-		h:          o.hasher,
-		v:          bitvec.New(cfg.m),
-		thresholds: make([]uint64, cfg.m),
-		dBits:      o.dBits,
+		cfg:   cfg,
+		h:     o.hasher,
+		v:     bitvec.New(cfg.m),
+		dBits: o.dBits,
 	}
-	for k := 1; k <= cfg.m; k++ {
-		s.thresholds[k-1] = rateThreshold(cfg.p[k-1], o.dBits)
-	}
+	s.cur = s.thresholdAt(0)
 	return s
+}
+
+// thresholdAt returns the acceptance threshold in force at fill level l
+// (i.e. for rate p_{l+1}), evaluating the schedule on demand. A full
+// bitmap accepts nothing.
+func (s *Sketch) thresholdAt(l int) uint64 {
+	if l >= s.cfg.m {
+		return 0
+	}
+	return rateThreshold(s.cfg.sched.rate(l+1), s.dBits)
 }
 
 // rateThreshold converts a sampling rate p ∈ (0, 1] to the 64-bit threshold
 // implementing "u·2^−d < p" on the top d bits of the sampling word: the
 // number of accepted d-bit values is ⌈p·2^d⌉ (strict inequality), shifted
-// back to the 64-bit domain.
+// back to the 64-bit domain. The scaling uses Ldexp — a pure exponent
+// shift, exact for every d ∈ [1, 64] — rather than a float power-of-two
+// multiply, so the d-bit truncation never inherits rounding from the
+// scaling step itself.
 func rateThreshold(p float64, d uint) uint64 {
 	if p >= 1 {
 		return math.MaxUint64
@@ -96,9 +114,8 @@ func rateThreshold(p float64, d uint) uint64 {
 	if p <= 0 {
 		return 0
 	}
-	scaled := math.Ceil(p * math.Pow(2, float64(d)))
-	max := math.Pow(2, float64(d))
-	if scaled >= max {
+	scaled := math.Ceil(math.Ldexp(p, int(d)))
+	if scaled >= math.Ldexp(1, int(d)) {
 		return math.MaxUint64
 	}
 	t := uint64(scaled)
@@ -149,12 +166,14 @@ func (s *Sketch) AddBatchString(items []string) int {
 
 // insertBatch replays insert over a chunk of hashed items. Bucket indexes
 // come from a multiply-shift onto [0, m) = [0, Len()), which proves the
-// unchecked bit probes in range for the whole chunk.
+// unchecked bit probes in range for the whole chunk. The acceptance
+// threshold lives in a local for the whole chunk, recomputed only on 0→1
+// transitions (amortized to noise: at most m recomputations ever).
 func (s *Sketch) insertBatch(hi, lo []uint64) int {
 	lo = lo[:len(hi)] // one bounds proof for the whole chunk
 	m := s.cfg.m
 	mm := uint64(m)
-	thresholds := s.thresholds
+	cur := s.cur
 	v := s.v
 	l := s.l
 	changed := 0
@@ -163,17 +182,16 @@ func (s *Sketch) insertBatch(hi, lo []uint64) int {
 		if v.GetUnchecked(int(j)) {
 			continue
 		}
-		if l >= m {
-			continue
-		}
-		if lo[i] >= thresholds[l] {
+		if lo[i] >= cur {
 			continue
 		}
 		v.SetUnchecked(int(j))
 		l++
 		changed++
+		cur = s.thresholdAt(l)
 	}
 	s.l = l
+	s.cur = cur
 	return changed
 }
 
@@ -185,14 +203,15 @@ func (s *Sketch) insert(bucketWord, sampleWord uint64) bool {
 	if s.v.Get(int(j)) {
 		return false // case 1 of Figure 1: occupied bucket, skip
 	}
-	if s.l >= s.cfg.m {
-		return false // bitmap full; cannot happen before kMax in practice
-	}
-	if sampleWord >= s.thresholds[s.l] {
-		return false // not sampled at rate p_{L+1}
+	if sampleWord >= s.cur {
+		// Not sampled at rate p_{L+1}. A full bitmap (L = m, which cannot
+		// happen before kMax in practice) parks the threshold at 0, so this
+		// branch also rejects everything once no bucket is left.
+		return false
 	}
 	s.v.Set(int(j))
 	s.l++
+	s.cur = s.thresholdAt(s.l)
 	return true
 }
 
@@ -207,8 +226,9 @@ func (s *Sketch) B() int {
 	return s.l
 }
 
-// Estimate returns the cardinality estimate n̂ = t_B (Equation 2).
-func (s *Sketch) Estimate() float64 { return s.cfg.t[s.B()] }
+// Estimate returns the cardinality estimate n̂ = t_B (Equation 2),
+// evaluated in closed form: t_B = C/2·(r^{−B} − 1).
+func (s *Sketch) Estimate() float64 { return s.cfg.sched.estimate(s.B()) }
 
 // Saturated reports whether the sketch has reached its truncation point;
 // estimates at or beyond N are pinned to t_{k*} ≈ N.
@@ -222,10 +242,22 @@ func (s *Sketch) FillRatio() float64 { return float64(s.l) / float64(s.cfg.m) }
 // as in the paper).
 func (s *Sketch) SizeBits() int { return s.cfg.m }
 
+// Footprint returns the sketch's resident process memory in bytes: the
+// struct itself, its share of the Config (including any schedule tables),
+// the bitmap words, and the lazily allocated batch-hash scratch. For
+// Theorem-2 configs this is m/8 plus a small constant — the paper's
+// Table 2 accounting finally holds of the process, not just the bitmap.
+// (A Config may be shared across sketches, in which case its bytes are
+// over-counted; they are a small constant on the closed-form path.)
+func (s *Sketch) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + s.cfg.AuxBytes() + s.v.Footprint() + s.scr.Footprint()
+}
+
 // Reset clears the sketch for reuse under the same configuration and hash.
 func (s *Sketch) Reset() {
 	s.v.Reset()
 	s.l = 0
+	s.cur = s.thresholdAt(0)
 }
 
 // sketchMagic guards serialized sketches against format drift.
@@ -292,5 +324,6 @@ func UnmarshalSketch(data []byte, opts ...Option) (*Sketch, error) {
 		return nil, fmt.Errorf("core: bitmap popcount %d does not match recorded L = %d", s.v.Ones(), l)
 	}
 	s.l = l
+	s.cur = s.thresholdAt(l)
 	return s, nil
 }

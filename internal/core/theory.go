@@ -21,10 +21,15 @@ type Chain struct {
 }
 
 // NewChain returns the chain at t = 0 (L_0 = 0 with probability 1).
+//
+// The chain tabulates the config's schedule up front: Step consults every
+// q_k per step, and the chain's own distribution vector is O(m) anyway, so
+// trading O(m) table bytes for table-speed stepping keeps the exact-model
+// experiments fast without reintroducing tables on the sketch path.
 func NewChain(cfg *Config) *Chain {
 	d := make([]float64, cfg.m+1)
 	d[0] = 1
-	return &Chain{cfg: cfg, dist: d}
+	return &Chain{cfg: TabulateConfig(cfg), dist: d}
 }
 
 // Step advances the chain by one distinct item: from state k the chain
@@ -80,7 +85,7 @@ func (c *Chain) EstimateMoments() (mean, variance float64) {
 		if b > c.cfg.kMax {
 			b = c.cfg.kMax
 		}
-		est := c.cfg.t[b]
+		est := c.cfg.sched.estimate(b)
 		m1 += p * est
 		m2 += p * est * est
 	}
@@ -115,7 +120,7 @@ func (c *Chain) EstimateDistribution() (values, probs []float64) {
 		if p == 0 {
 			continue
 		}
-		values = append(values, c.cfg.t[b])
+		values = append(values, c.cfg.sched.estimate(b))
 		probs = append(probs, p)
 	}
 	return values, probs

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"repro/internal/uhash"
 )
@@ -89,6 +90,13 @@ func (c *Counter) Estimate() float64 { return float64(len(c.set)) }
 // distinct item (map overhead excluded, consistent with the paper's
 // summary-statistic accounting).
 func (c *Counter) SizeBits() int { return 128 * len(c.set) }
+
+// Footprint returns the counter's resident process memory in bytes: the
+// struct, the fingerprint set (estimated at Go's map cost of roughly
+// key + 16 bytes of bucket overhead per entry), and the batch-hash scratch.
+func (c *Counter) Footprint() int {
+	return int(unsafe.Sizeof(*c)) + len(c.set)*(16+16) + c.scr.Footprint()
+}
 
 // Reset clears the counter for reuse.
 func (c *Counter) Reset() { c.set = make(map[[2]uint64]struct{}) }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/uhash"
 )
@@ -162,6 +163,12 @@ func (s *Sketch) Merge(o *Sketch) error {
 
 // SizeBits returns the summary memory footprint in bits (32 per register).
 func (s *Sketch) SizeBits() int { return len(s.reg) * registerBits }
+
+// Footprint returns the sketch's resident process memory in bytes: the
+// struct, the register array at capacity, and the batch-hash scratch.
+func (s *Sketch) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + 4*cap(s.reg) + s.scr.Footprint()
+}
 
 // MarshalBinary serializes the register bitmaps. The hash function is not
 // serialized; pass the original hasher to Unmarshal to continue counting.

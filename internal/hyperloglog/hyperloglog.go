@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/uhash"
 )
@@ -224,6 +225,12 @@ func (s *Sketch) Merge(o *Sketch) error {
 
 // SizeBits returns the summary memory footprint in bits (5 per register).
 func (s *Sketch) SizeBits() int { return len(s.reg) * RegisterBits }
+
+// Footprint returns the sketch's resident process memory in bytes: the
+// struct, the register array at capacity, and the batch-hash scratch.
+func (s *Sketch) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + cap(s.reg) + s.scr.Footprint()
+}
 
 // MarshalBinary serializes the register array (one byte per register,
 // preceded by the register-count exponent). The hash function is not

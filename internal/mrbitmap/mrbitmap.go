@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/bitvec"
 	"repro/internal/uhash"
@@ -254,6 +255,17 @@ func (s *Sketch) Estimate() float64 {
 
 // SizeBits returns the summary memory footprint in bits.
 func (s *Sketch) SizeBits() int { return s.nBits }
+
+// Footprint returns the sketch's resident process memory in bytes: the
+// struct, every component bitmap, the component pointer slice, and the
+// batch-hash scratch.
+func (s *Sketch) Footprint() int {
+	total := int(unsafe.Sizeof(*s)) + 8*cap(s.comps) + s.scr.Footprint()
+	for _, c := range s.comps {
+		total += c.Footprint()
+	}
+	return total
+}
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() {

@@ -152,6 +152,11 @@ func (s *Scratch) Buffers(n int) (hi, lo []uint64) {
 	return s.hi[:n], s.lo[:n]
 }
 
+// Footprint returns the scratch's resident memory in bytes (0 until the
+// first batch call allocates the buffers; the struct itself is counted by
+// the embedding sketch).
+func (s *Scratch) Footprint() int { return 8 * (cap(s.hi) + cap(s.lo)) }
+
 // Batch64 hashes items through h in chunks of BatchSize into scr's buffers
 // and hands each hashed chunk to sink, returning the summed sink results.
 // Sketches use it to fuse a vectorized hash loop with their insert loop:

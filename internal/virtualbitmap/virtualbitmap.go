@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/bitvec"
 	"repro/internal/uhash"
@@ -154,6 +155,12 @@ func (s *Sketch) Estimate() float64 {
 
 // SizeBits returns the summary memory footprint in bits.
 func (s *Sketch) SizeBits() int { return s.v.Len() }
+
+// Footprint returns the sketch's resident process memory in bytes: the
+// struct, the bitmap words, and the batch-hash scratch.
+func (s *Sketch) Footprint() int {
+	return int(unsafe.Sizeof(*s)) + s.v.Footprint() + s.scr.Footprint()
+}
 
 // Reset clears the sketch for reuse.
 func (s *Sketch) Reset() { s.v.Reset() }

@@ -76,7 +76,15 @@ type Counter interface {
 	AddUint64(item uint64) bool
 	AddString(item string) bool
 	Estimate() float64
+	// SizeBits is the summary-statistic memory in bits — the paper's
+	// accounting (bitmap bits or registers; side state and object headers
+	// excluded). Use it to reproduce the paper's comparisons.
 	SizeBits() int
+	// Footprint is the sketch's resident process memory in bytes —
+	// everything the counter actually holds: structs, bitmap/register
+	// storage at capacity, schedule state, and batch scratch. Use it for
+	// Table 2-style comparisons that must reflect real deployments.
+	Footprint() int
 	Reset()
 }
 
@@ -198,6 +206,12 @@ func (s *SBitmap) N() float64 { return s.sk.Config().N() }
 // SizeBits returns the bitmap size in bits (the summary-statistic memory
 // footprint; hash seeds excluded, as in the paper's accounting).
 func (s *SBitmap) SizeBits() int { return s.sk.SizeBits() }
+
+// Footprint returns the sketch's resident process memory in bytes. Because
+// the sampling-rate schedule is evaluated in closed form, this is the
+// bitmap (m/8 bytes) plus a small constant — the paper's "about 30
+// kilobits" claim holds of the process, not just the bitmap.
+func (s *SBitmap) Footprint() int { return s.sk.Footprint() }
 
 // FillLevel returns L, the number of set bits.
 func (s *SBitmap) FillLevel() int { return s.sk.L() }

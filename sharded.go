@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 
 	"repro/internal/uhash"
 	"repro/internal/xrand"
@@ -355,6 +356,23 @@ func (s *Sharded) SizeBits() int {
 	total := 0
 	for i := range s.shards {
 		total += s.shards[i].sk.SizeBits()
+	}
+	return total
+}
+
+// Footprint returns the decorator's resident process memory in bytes: the
+// shard array (locks and padding included) plus every shard sketch's own
+// footprint. Transient batch-partition scratch (pooled, reused) is not
+// counted. Safe for concurrent use: shards are locked one at a time
+// (sketch footprints include lazily allocated batch scratch, which
+// concurrent ingest may be growing).
+func (s *Sharded) Footprint() int {
+	total := int(unsafe.Sizeof(*s)) + int(unsafe.Sizeof(shard{}))*cap(s.shards)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.sk.Footprint()
+		sh.mu.Unlock()
 	}
 	return total
 }

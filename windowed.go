@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 )
 
 // Windowed counts distinct items per fixed time window — the paper's
@@ -204,6 +205,12 @@ func (w *Windowed) Last() (WindowResult, bool) { return w.lastClosed, w.hasClose
 
 // SizeBits returns the total memory of both rotation sketches.
 func (w *Windowed) SizeBits() int { return w.current.SizeBits() + w.spare.SizeBits() }
+
+// Footprint returns the decorator's resident process memory in bytes: the
+// bookkeeping struct plus both rotation sketches' footprints.
+func (w *Windowed) Footprint() int {
+	return int(unsafe.Sizeof(*w)) + w.current.Footprint() + w.spare.Footprint()
+}
 
 // MarshalBinary implements encoding.BinaryMarshaler: the snapshot records
 // the window bookkeeping and both rotation sketches' envelopes, so a

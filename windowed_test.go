@@ -192,3 +192,42 @@ func TestWindowedErrors(t *testing.T) {
 		t.Error("SizeBits not positive")
 	}
 }
+
+// TestWindowedRotationAllocFree: steady-state window rotation is O(1)
+// bookkeeping plus a sketch reset — closing a window and opening the next
+// must not reallocate any per-bucket state (the sampling schedule is
+// evaluated in closed form, so a reset rebuilds no tables).
+func TestWindowedRotationAllocFree(t *testing.T) {
+	w, err := NewWindowed(time.Minute, 1e5, 0.02, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	// Prime both rotation sketches so first-use effects are out of the way.
+	w.AddUint64(base, 1)
+	w.AddUint64(base.Add(time.Minute), 2)
+	w.AddUint64(base.Add(2*time.Minute), 3)
+
+	win := 3
+	if allocs := testing.AllocsPerRun(100, func() {
+		ts := base.Add(time.Duration(win) * time.Minute)
+		for i := 0; i < 32; i++ {
+			w.AddUint64(ts, uint64(win)<<32|uint64(i))
+		}
+		win++ // the next run's first Add crosses the boundary and rotates
+	}); allocs != 0 {
+		t.Errorf("rotation allocates %v objects per window, want 0", allocs)
+	}
+
+	// Flush-driven rotation must be allocation-free too.
+	w.AddUint64(base.Add(time.Duration(win)*time.Minute), 42)
+	if allocs := testing.AllocsPerRun(100, func() {
+		win++
+		w.AddUint64(base.Add(time.Duration(win)*time.Minute), uint64(win))
+		if _, ok := w.Flush(); !ok {
+			t.Fatal("flush with an observed item reported no window")
+		}
+	}); allocs != 0 {
+		t.Errorf("Flush rotation allocates %v objects, want 0", allocs)
+	}
+}
