@@ -8,7 +8,8 @@ package sbitmap
 // model does not include. The batch surface removes those: every sketch in
 // this module ingests whole slices with the hash loop fused to the insert
 // loop, and the decorators route or rotate once per batch instead of once
-// per item.
+// per item. The keyed Store builds on the same surface: its batch methods
+// group records by key and feed each key's run through BulkAdder.
 
 // BulkAdder is the batch-ingestion capability. Every counter constructed
 // by this module (directly or via Spec.New) implements it natively; for

@@ -1,4 +1,4 @@
-package sbitmap
+package sbitmap_test
 
 // This file is the benchmark face of the reproduction harness: one
 // Benchmark per table/figure of the paper (each invocation regenerates the
@@ -15,6 +15,7 @@ import (
 	"io"
 	"testing"
 
+	sbitmap "repro"
 	"repro/internal/experiment"
 )
 
@@ -60,23 +61,23 @@ func BenchmarkAblationD(b *testing.B)     { runExperiment(b, "ablation_d") }
 
 // benchCounters builds every sketch under the Section 7.1 configuration
 // (m = 8000 bits, N = 10^6).
-func benchCounters(b *testing.B) map[string]Counter {
+func benchCounters(b *testing.B) map[string]sbitmap.Counter {
 	b.Helper()
-	sb, err := NewWithMemory(8000, 1e6)
+	sb, err := sbitmap.NewWithMemory(8000, 1e6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	mr, err := NewMRBitmap(8000, 1e6)
+	mr, err := sbitmap.NewMRBitmap(8000, 1e6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return map[string]Counter{
+	return map[string]sbitmap.Counter{
 		"SBitmap":     sb,
-		"HyperLogLog": NewHyperLogLog(8000),
-		"LogLog":      NewLogLog(8000),
+		"HyperLogLog": sbitmap.NewHyperLogLog(8000),
+		"LogLog":      sbitmap.NewLogLog(8000),
 		"MRBitmap":    mr,
-		"LinearCount": NewLinearCounting(8000),
-		"FM":          NewFM(8000),
+		"LinearCount": sbitmap.NewLinearCounting(8000),
+		"FM":          sbitmap.NewFM(8000),
 	}
 }
 
@@ -152,7 +153,7 @@ func BenchmarkDimensioning(b *testing.B) {
 	for _, n := range []float64{1e4, 1e6} {
 		b.Run(fmt.Sprintf("N=%.0e", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := New(n, 0.01); err != nil {
+				if _, err := sbitmap.New(n, 0.01); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -162,7 +163,7 @@ func BenchmarkDimensioning(b *testing.B) {
 
 // BenchmarkMarshal measures sketch serialization round-trips.
 func BenchmarkMarshal(b *testing.B) {
-	sk, err := NewWithMemory(8000, 1e6)
+	sk, err := sbitmap.NewWithMemory(8000, 1e6)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func BenchmarkMarshal(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Unmarshal(blob); err != nil {
+		if _, err := sbitmap.Unmarshal(blob); err != nil {
 			b.Fatal(err)
 		}
 	}

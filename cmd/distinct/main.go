@@ -9,12 +9,20 @@
 //	distinct -algo all -n 1e7 -eps 0.02 < ids.txt                # compare everything
 //	distinct -spec "sbitmap:n=1e6,eps=0.01" < ids.txt            # spec string
 //	distinct -spec "hll:mbits=4096;loglog:mbits=4096" < ids.txt  # several specs
+//	awk '{print $1, $7}' access.log | distinct -keyed -top 5     # per-key counting
 //
 // The -n / -eps pair dimensions the S-bitmap (and sizes budget-based
 // competitors via -mbits); -spec takes the same semicolon-separated spec
 // strings accepted everywhere else in the module (sbitmap.ParseSpec), so a
 // config file, a CLI flag, and a library call all share one vocabulary.
 // Output reports the estimate and the memory the summary consumed.
+//
+// With -keyed, each line is "key item" (first field the key, the rest the
+// item): one counter per key in a keyed Store — per-user distinct URLs,
+// per-source distinct destinations, per-link flows. A single spec
+// dimensions every per-key counter; output is the top -top keys by
+// estimate plus store totals. -maxkeys bounds memory by evicting
+// arbitrary keys once the limit is hit.
 package main
 
 import (
@@ -29,14 +37,25 @@ import (
 
 func main() {
 	var (
-		algo  = flag.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
-		spec  = flag.String("spec", "", "semicolon-separated sketch specs (overrides -algo), e.g. 'sbitmap:n=1e6,eps=0.01'")
-		n     = flag.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
-		eps   = flag.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
-		mbits = flag.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
-		seed  = flag.Uint64("seed", 1, "hash seed")
+		algo    = flag.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
+		spec    = flag.String("spec", "", "semicolon-separated sketch specs (overrides -algo), e.g. 'sbitmap:n=1e6,eps=0.01'")
+		n       = flag.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
+		eps     = flag.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
+		mbits   = flag.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
+		seed    = flag.Uint64("seed", 1, "hash seed")
+		keyed   = flag.Bool("keyed", false, "per-key counting: lines are 'key item', one counter per key")
+		top     = flag.Int("top", 10, "with -keyed: keys to report, by descending estimate")
+		maxKeys = flag.Int("maxkeys", 0, "with -keyed: bound live keys (0 = unbounded)")
 	)
 	flag.Parse()
+
+	if *keyed {
+		if err := runKeyed(*spec, *algo, *n, *eps, *mbits, *seed, *top, *maxKeys); err != nil {
+			fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var counters []namedCounter
 	var err error
@@ -100,6 +119,130 @@ func main() {
 		fmt.Printf("%-*s estimate %12.0f   memory %8d bits\n",
 			width, c.name, c.counter.Estimate(), c.counter.SizeBits())
 	}
+}
+
+// runKeyed is the -keyed mode: one counter per key in a Store, lines
+// split into key (first field) and item (rest of the line).
+func runKeyed(specStr, algo string, n, eps float64, mbits int, seed uint64, top, maxKeys int) error {
+	spec, err := keyedSpec(specStr, algo, n, eps, mbits, seed)
+	if err != nil {
+		return err
+	}
+	var opts []sbitmap.StoreOption
+	if maxKeys > 0 {
+		opts = append(opts, sbitmap.WithMaxKeys(maxKeys))
+	}
+	store, err := sbitmap.NewStore[string](spec, opts...)
+	if err != nil {
+		return err
+	}
+	evicted := 0
+	store.OnEvict(func(string, sbitmap.Counter) { evicted++ })
+
+	// Lines feed the store through the keyed batch path: key and item are
+	// copied out of the scanner's volatile buffer, and a full batch routes
+	// with one hash pass and one lock per touched stripe.
+	const lineBatch = 512
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lines, skipped := 0, 0
+	keys := make([]string, 0, lineBatch)
+	items := make([]string, 0, lineBatch)
+	flush := func() {
+		if len(keys) > 0 {
+			store.AddBatchString(keys, items)
+			keys, items = keys[:0], items[:0]
+		}
+	}
+	for scanner.Scan() {
+		lines++
+		line := strings.TrimSpace(string(scanner.Bytes()))
+		// Split at the FIRST whitespace of either kind, so a TSV line
+		// whose item contains spaces still keys correctly.
+		cut := strings.IndexAny(line, " \t")
+		if cut <= 0 {
+			skipped++
+			continue
+		}
+		key, item := line[:cut], strings.TrimSpace(line[cut+1:])
+		if item == "" {
+			skipped++
+			continue
+		}
+		keys = append(keys, key)
+		items = append(items, item)
+		if len(keys) == lineBatch {
+			flush()
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	flush()
+
+	fmt.Printf("%d lines read", lines)
+	if skipped > 0 {
+		fmt.Printf(" (%d without 'key item' shape skipped)", skipped)
+	}
+	fmt.Printf("\n%d keys tracked, spec %s, %d bits of sketch, %d bytes resident",
+		store.Len(), spec, store.SizeBits(), store.Footprint())
+	if evicted > 0 {
+		fmt.Printf(", %d keys evicted (-maxkeys %d)", evicted, maxKeys)
+	}
+	fmt.Println()
+	ranked := store.TopK(top)
+	if len(ranked) > 0 {
+		width := 10
+		for _, ke := range ranked {
+			if len(ke.Key) > width {
+				width = len(ke.Key)
+			}
+		}
+		fmt.Printf("\ntop %d keys by estimated distinct items:\n", len(ranked))
+		for _, ke := range ranked {
+			fmt.Printf("%-*s %12.0f\n", width, ke.Key, ke.Estimate)
+		}
+	}
+	return nil
+}
+
+// keyedSpec resolves the single per-key spec of -keyed mode from either
+// vocabulary (-spec wins; it must name exactly one spec).
+func keyedSpec(specStr, algo string, n, eps float64, mbits int, seed uint64) (sbitmap.Spec, error) {
+	if specStr != "" {
+		if strings.Contains(specStr, ";") {
+			return sbitmap.Spec{}, fmt.Errorf("-keyed takes a single spec, got %q", specStr)
+		}
+		return sbitmap.ParseSpec(specStr)
+	}
+	kind, err := sbitmap.ParseKind(algo)
+	if err != nil || kind == "" {
+		return sbitmap.Spec{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	spec := sbitmap.Spec{Kind: kind, Seed: seed}
+	switch kind {
+	case sbitmap.KindSBitmap:
+		spec.N, spec.Eps = n, eps
+	case sbitmap.KindMRBitmap, sbitmap.KindVirtualBitmap:
+		spec.N, spec.MemoryBits = n, mbits
+		if mbits == 0 {
+			spec.MemoryBits, err = sbitmap.Memory(n, eps)
+			if err != nil {
+				return sbitmap.Spec{}, err
+			}
+		}
+	case sbitmap.KindExact:
+		// no dimensioning
+	default:
+		spec.MemoryBits = mbits
+		if mbits == 0 {
+			spec.MemoryBits, err = sbitmap.Memory(n, eps)
+			if err != nil {
+				return sbitmap.Spec{}, err
+			}
+		}
+	}
+	return spec, nil
 }
 
 type namedCounter struct {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	sbitmap "repro"
+)
 
 func TestBuildCountersSingle(t *testing.T) {
 	for _, algo := range []string{"sbitmap", "hll", "loglog", "mr", "lc", "fm", "adaptive", "exact"} {
@@ -38,5 +42,47 @@ func TestBuildCountersErrors(t *testing.T) {
 	}
 	if _, err := buildCounters("mr", 1e9, 0.02, 64, 1); err == nil {
 		t.Error("impossible mr-bitmap dimensioning accepted")
+	}
+}
+
+func TestKeyedSpecResolution(t *testing.T) {
+	// -spec wins and must be single.
+	sp, err := keyedSpec("hll:mbits=2048", "sbitmap", 1e6, 0.01, 0, 1)
+	if err != nil || sp.Kind != "hll" || sp.MemoryBits != 2048 {
+		t.Fatalf("spec path: %+v, %v", sp, err)
+	}
+	if _, err := keyedSpec("hll:mbits=1;hll:mbits=2", "", 1e6, 0.01, 0, 1); err == nil {
+		t.Error("multi-spec accepted for -keyed")
+	}
+	// Flag vocabulary: S-bitmap from (n, eps); budget kinds from Memory.
+	sp, err = keyedSpec("", "sbitmap", 1e5, 0.02, 0, 7)
+	if err != nil || sp.N != 1e5 || sp.Eps != 0.02 || sp.Seed != 7 {
+		t.Fatalf("sbitmap flags: %+v, %v", sp, err)
+	}
+	sp, err = keyedSpec("", "hll", 1e5, 0.02, 0, 1)
+	if err != nil || sp.MemoryBits <= 0 {
+		t.Fatalf("hll default budget: %+v, %v", sp, err)
+	}
+	sp, err = keyedSpec("", "mr", 1e5, 0.02, 4000, 1)
+	if err != nil || sp.N != 1e5 || sp.MemoryBits != 4000 {
+		t.Fatalf("mr flags: %+v, %v", sp, err)
+	}
+	if _, err := keyedSpec("", "nope", 1e5, 0.02, 0, 1); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	// Every resolved spec must construct a Store.
+	for _, algo := range []string{"sbitmap", "hll", "loglog", "mr", "lc", "fm", "adaptive", "exact"} {
+		sp, err := keyedSpec("", algo, 1e5, 0.02, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		st, err := sbitmap.NewStore[string](sp)
+		if err != nil {
+			t.Fatalf("%s: NewStore: %v", algo, err)
+		}
+		st.AddString("k", "v")
+		if est, ok := st.Estimate("k"); !ok || est < 0.5 {
+			t.Errorf("%s: estimate %v ok=%v", algo, est, ok)
+		}
 	}
 }

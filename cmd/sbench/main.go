@@ -76,6 +76,14 @@ func main() {
 		return
 	}
 
+	if *run == "keyed" {
+		if err := runKeyed(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -85,6 +93,8 @@ func main() {
 			"ingest throughput benchmark (items/sec per sketch × mode × key; -json writes BENCH_throughput.json)")
 		fmt.Printf("  %-16s %s\n", "memory",
 			"per-sketch memory + construction benchmark (bytes and ns across the zoo; -json writes BENCH_memory.json)")
+		fmt.Printf("  %-16s %s\n", "keyed",
+			"keyed Store ingest benchmark (1M keys × per-key S-bitmaps; -json writes BENCH_keyed.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

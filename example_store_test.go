@@ -1,0 +1,54 @@
+package sbitmap_test
+
+import (
+	"fmt"
+
+	sbitmap "repro"
+)
+
+// ExampleStore counts distinct items per key — the paper's per-flow
+// network-monitoring deployment: one tiny sketch per key, millions of
+// keys, all dimensioned by a single Spec. (The example uses the exact
+// counter so its output is deterministic; production deployments use
+// "sbitmap:n=...,eps=..." and trade exactness for constant tiny memory.)
+func ExampleStore() {
+	store, err := sbitmap.NewStore[string](sbitmap.MustSpec("exact"))
+	if err != nil {
+		panic(err)
+	}
+
+	// Per-user distinct pages, duplicates and all. Keyed batches route
+	// with one hash pass and one lock per touched stripe.
+	keys := []string{"alice", "bob", "alice", "alice", "bob", "carol"}
+	pages := []string{"/home", "/home", "/cart", "/home", "/pay", "/home"}
+	store.AddBatchString(keys, pages)
+	store.AddString("alice", "/pay") // per-item works too
+
+	est, _ := store.Estimate("alice")
+	fmt.Printf("alice visited %.0f distinct pages\n", est)
+	fmt.Printf("%d users tracked\n", store.Len())
+
+	// Heavy hitters, descending by estimate (ties by key).
+	for _, ke := range store.TopK(2) {
+		fmt.Printf("top: %s (%.0f)\n", ke.Key, ke.Estimate)
+	}
+
+	// The whole store snapshots into one blob and restores counting.
+	blob, err := store.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	restored, err := sbitmap.UnmarshalStore[string](blob)
+	if err != nil {
+		panic(err)
+	}
+	est, _ = restored.Estimate("bob")
+	fmt.Printf("restored: bob visited %.0f distinct pages\n", est)
+
+	// Output:
+	// alice visited 3 distinct pages
+	// 3 users tracked
+	// top: alice (3)
+	// top: bob (2)
+	// restored: bob visited 2 distinct pages
+}

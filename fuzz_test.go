@@ -1,0 +1,48 @@
+package sbitmap
+
+import "testing"
+
+// FuzzParseSpec drives the spec grammar with arbitrary strings. The
+// invariants: ParseSpec never panics; any accepted spec renders to a
+// canonical String that re-parses to the identical Spec; and the
+// canonical form is a fixed point of parse∘render. CI runs a short fuzz
+// smoke over this target; `go test -fuzz FuzzParseSpec .` digs deeper.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"exact",
+		"sbitmap:n=1e6,eps=0.01",
+		"sbitmap:n=1e5,eps=0.02,seed=42,hash=tabulation,d=30",
+		"hll:mbits=4096",
+		"hyperloglog:mbits=4e3",
+		"mr:n=1e5,mbits=4000",
+		"lc : mbits=4000",
+		"loglog:seed=0x10",
+		"hll:mbits=64,mbits=128",
+		"sbitmap:hash=cw",
+		"vb:n=1e4,mbits=100",
+		"sbitmap:n=,eps=0.01",
+		"sbitmap:eps=1e999",
+		"nope:mbits=1",
+		"sbitmap:n=1e6,eps=0.01,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejection is fine; panicking or mis-round-tripping is not
+		}
+		canon := spec.String()
+		got, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) accepted but canonical %q rejected: %v", s, canon, err)
+		}
+		if got != spec {
+			t.Fatalf("round trip of %q: %+v != %+v", s, got, spec)
+		}
+		if again := got.String(); again != canon {
+			t.Fatalf("canonical form of %q not fixed: %q -> %q", s, canon, again)
+		}
+	})
+}

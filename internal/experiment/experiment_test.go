@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation_d", "ablation_hash", "ablation_rates", "ablation_trunc",
 		"asymptotics",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"spread",
 		"table2", "table3", "table4", "theory_exact",
 	}
 	got := IDs()

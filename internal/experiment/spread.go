@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+
+	sbitmap "repro"
+	"repro/internal/netflow"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/tablewriter"
+)
+
+func init() {
+	register("spread",
+		"Keyed spread estimation: one S-bitmap per backbone link in a single Store, all links ingested as one interleaved record stream (Section 7.2 deployment shape)",
+		runSpread)
+}
+
+// runSpread re-runs the Figure 8 accuracy study the way a production
+// monitor actually executes it: not 600 separately driven sketches, but
+// one keyed Store holding a per-link S-bitmap (N = 1.5×10^6, m = 7200
+// bits — the paper's configuration), fed the whole provider's traffic as
+// a single stream of (link, flow) records with the links arbitrarily
+// interleaved. Per-link accuracy must match the per-sketch runs: the
+// Store's routing, lazy materialization, and batch grouping are
+// transparent to the estimator.
+func runSpread(o Options) (*Result, error) {
+	const mbits = 7200
+	const n = 1.5e6
+	spec := sbitmap.Spec{Kind: sbitmap.KindSBitmap, MemoryBits: mbits, N: n, Seed: o.Seed}
+	proto, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	eps := proto.(*sbitmap.SBitmap).Epsilon()
+
+	links := backboneLinks(o)
+	records := netflow.SpreadRecords(links, o.Seed)
+	store, err := sbitmap.NewStore[uint64](spec)
+	if err != nil {
+		return nil, err
+	}
+	kbuf := make([]uint64, 4096)
+	ibuf := make([]uint64, 4096)
+	stream.ForEachRecordBatch(records, kbuf, ibuf, func(keys, items []uint64) {
+		store.AddBatch64(keys, items)
+	})
+	if store.Len() != len(links) {
+		return nil, fmt.Errorf("spread: store holds %d keys for %d links", store.Len(), len(links))
+	}
+
+	sum := &stats.ErrorSummary{}
+	for i, truth := range links {
+		est, ok := store.Estimate(records.Key(i))
+		if !ok {
+			return nil, fmt.Errorf("spread: link %d missing from store", i)
+		}
+		sum.AddEstimate(est, float64(truth))
+	}
+
+	res := &Result{ID: "spread", Title: Title("spread")}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"configuration: m=%d bits/link, N=%.1e → ε=%.2f%%; %d links, %d records (3 pkts/flow), interleaved round-robin across links",
+		mbits, float64(n), 100*eps, len(links), records.Records()))
+
+	tbl := tablewriter.New("Keyed store accuracy across links",
+		"metric", "value")
+	tbl.AddRow("links", fmt.Sprintf("%d", len(links)))
+	tbl.AddRow("RRMSE", pct(sum.RRMSE())+"%")
+	tbl.AddRow("bias", pct(sum.Bias())+"%")
+	tbl.AddRow("|rel err| p50", pct(sum.QuantileAbs(0.5))+"%")
+	tbl.AddRow("|rel err| p99", pct(sum.QuantileAbs(0.99))+"%")
+	tbl.AddRow("store keys", fmt.Sprintf("%d", store.Len()))
+	tbl.AddRow("store sketch bits", fmt.Sprintf("%d", store.SizeBits()))
+	tbl.AddRow("store footprint (B)", fmt.Sprintf("%d", store.Footprint()))
+
+	exceed := tablewriter.New("Links with |rel err| above threshold (cf. Figure 8)",
+		"threshold", "links")
+	for _, th := range fig6Thresholds {
+		exceed.AddRow(fmt.Sprintf("%.3f", th),
+			fmt.Sprintf("%.0f", sum.ExceedFraction(th)*float64(len(links))))
+	}
+
+	// Heavy hitters: the store's TopK must surface the largest links.
+	top := store.TopK(5)
+	topTbl := tablewriter.New("Top-5 links by estimated flows", "rank", "estimate", "truth")
+	truthByKey := make(map[uint64]int, len(links))
+	for i, c := range links {
+		truthByKey[records.Key(i)] = c
+	}
+	for i, ke := range top {
+		topTbl.AddRow(fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.0f", ke.Estimate),
+			fmt.Sprintf("%d", truthByKey[ke.Key]))
+	}
+
+	res.Tables = append(res.Tables, tbl, exceed, topTbl)
+	res.Notes = append(res.Notes,
+		"expected: RRMSE ≈ ε (the scale-invariant guarantee holds per key; Store routing and batch grouping add no error)",
+		"the keyed Store is the spread-estimation deployment of Estan et al. (2006) with S-bitmaps in place of virtual/multiresolution bitmaps")
+	return res, nil
+}

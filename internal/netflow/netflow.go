@@ -161,6 +161,22 @@ func LinkStream(count int, seed uint64) stream.Stream {
 	return stream.NewInterleaved(count, count*3, stream.DupZipf, seed)
 }
 
+// SpreadRecords returns the backbone snapshot as one keyed record stream:
+// each of the counts' links becomes a key whose exact spread (distinct
+// flow count) is its snapshot value, with packet-level duplication (~3
+// records per flow, as in LinkStream) and records interleaved across
+// links — the shape a keyed counter store ingests when one monitor tracks
+// every link of the provider at once. Ground truth per link is
+// Spread(i) == counts[i].
+func SpreadRecords(counts []int, seed uint64) *stream.KeyedSpread {
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("netflow: negative flow count %d for link %d", c, i))
+		}
+	}
+	return stream.NewKeyedSpread(counts, 3, seed^0x5b4ead)
+}
+
 // FlowKey encodes a synthetic 5-tuple-like flow identity as a single
 // uint64 (src/dst/sport/dport/proto folded through Mix64); exposed for the
 // examples that want to show realistic key construction.

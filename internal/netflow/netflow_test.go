@@ -163,3 +163,41 @@ func TestPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestSpreadRecordsGroundTruth(t *testing.T) {
+	counts := BackboneSnapshot(40, 3)
+	ks := SpreadRecords(counts, 3)
+	if ks.Keys() != len(counts) {
+		t.Fatalf("Keys = %d, want %d", ks.Keys(), len(counts))
+	}
+	// Per-link distinct flows must equal the snapshot counts exactly,
+	// duplication notwithstanding.
+	distinct := map[uint64]map[uint64]bool{}
+	recs := 0
+	stream.ForEachRecord(ks, func(key, item uint64) {
+		if distinct[key] == nil {
+			distinct[key] = map[uint64]bool{}
+		}
+		distinct[key][item] = true
+		recs++
+	})
+	total := 0
+	for i, c := range counts {
+		if got := len(distinct[ks.Key(i)]); got != c {
+			t.Errorf("link %d: %d distinct flows, want %d", i, got, c)
+		}
+		total += c
+	}
+	if recs != 3*total {
+		t.Errorf("%d records for %d flows, want 3x duplication", recs, total)
+	}
+}
+
+func TestSpreadRecordsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for negative count")
+		}
+	}()
+	SpreadRecords([]int{5, -1}, 1)
+}

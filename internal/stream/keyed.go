@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Keyed record streams: the spread-estimation workload (Estan et al.
+// 2006; the paper's Section 7 per-link flow counting) is a stream of
+// (key, item) records — one tiny distinct counter per key — rather than
+// one flat stream. KeyedStream is that shape; KeyedSpread generates it
+// with exact per-key ground truth, lazily, for key populations in the
+// millions.
+
+// KeyedStream yields a finite sequence of (key, item) records.
+type KeyedStream interface {
+	// NextRecord returns the next record and whether one was available.
+	NextRecord() (key, item uint64, ok bool)
+	// Keys returns the number of distinct keys the full stream contains.
+	Keys() int
+}
+
+// KeyedBatchStream is optionally implemented by keyed streams that can
+// fill caller buffers in one call. NextRecordBatch must yield exactly the
+// records NextRecord would, in order.
+type KeyedBatchStream interface {
+	KeyedStream
+	// NextRecordBatch fills keys and items (equal-length buffers) with up
+	// to len(keys) records and returns how many were produced; 0 means
+	// the stream is exhausted (given len(keys) > 0).
+	NextRecordBatch(keys, items []uint64) int
+}
+
+// ForEachRecord drains s, invoking fn on every record.
+func ForEachRecord(s KeyedStream, fn func(key, item uint64)) {
+	for {
+		key, item, ok := s.NextRecord()
+		if !ok {
+			return
+		}
+		fn(key, item)
+	}
+}
+
+// ForEachRecordBatch drains s through fn in batches of at most len(keys)
+// records, using the stream's native batch path when it has one. The
+// slices passed to fn alias the buffers and are only valid until fn
+// returns. Panics if the buffers are empty or of different lengths.
+func ForEachRecordBatch(s KeyedStream, keys, items []uint64, fn func(keys, items []uint64)) {
+	if len(keys) == 0 || len(keys) != len(items) {
+		panic(fmt.Sprintf("stream: ForEachRecordBatch with buffer lengths %d, %d", len(keys), len(items)))
+	}
+	if bs, ok := s.(KeyedBatchStream); ok {
+		for {
+			n := bs.NextRecordBatch(keys, items)
+			if n == 0 {
+				return
+			}
+			fn(keys[:n], items[:n])
+		}
+	}
+	for {
+		n := 0
+		for n < len(keys) {
+			key, item, ok := s.NextRecord()
+			if !ok {
+				break
+			}
+			keys[n], items[n] = key, item
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		fn(keys[:n], items[:n])
+	}
+}
+
+// KeyedSpread is a deterministic keyed record stream with exact per-key
+// ground truth: key k carries exactly Spread(k) distinct items, plus
+// duplicate records up to a configurable duplication factor. Records
+// interleave across keys — each emission round sweeps every key that
+// still has records left (largest spreads last the longest), so a
+// counter store sees the adversarial pattern of consecutive records
+// almost never sharing a key, as in real exporter traffic.
+//
+// Generation is lazy and O(1) per record after an O(K log K) setup, so
+// million-key workloads need no materialized record buffer.
+type KeyedSpread struct {
+	spreads []int // per original key index: distinct items (ground truth)
+	recs    []int // per original key index: total records incl. duplicates
+	keyBase uint64
+	dupSalt uint64
+
+	// byRecs orders key indexes by descending record count, so round r
+	// touches exactly the prefix with recs > r.
+	byRecs []int32
+	total  int
+
+	// Cursor: emitting round `round`, position `pos` within the active
+	// prefix of byRecs (length `active`).
+	round  int
+	pos    int
+	active int
+}
+
+// NewKeyedSpread returns a keyed stream over len(spreads) keys where key
+// k has exactly spreads[k] distinct items, replicated to about
+// spreads[k]·dup records (dup ≥ 1; duplicates are uniform over the key's
+// items). Keys with spread 0 emit nothing. Panics on negative spreads or
+// dup < 1.
+func NewKeyedSpread(spreads []int, dup float64, seed uint64) *KeyedSpread {
+	if dup < 1 {
+		panic(fmt.Sprintf("stream: duplication factor %v < 1", dup))
+	}
+	ks := &KeyedSpread{
+		spreads: spreads,
+		recs:    make([]int, len(spreads)),
+		keyBase: xrand.Mix64(seed^0x5eed*2654435761) << 20,
+		dupSalt: xrand.Mix64(seed ^ 0xd0b1e5),
+	}
+	for k, s := range spreads {
+		if s < 0 {
+			panic(fmt.Sprintf("stream: negative spread %d for key %d", s, k))
+		}
+		if s == 0 {
+			continue
+		}
+		r := int(float64(s)*dup + 0.5)
+		if r < s {
+			r = s
+		}
+		ks.recs[k] = r
+		ks.total += r
+	}
+	ks.byRecs = make([]int32, 0, len(spreads))
+	for k := range spreads {
+		if ks.recs[k] > 0 {
+			ks.byRecs = append(ks.byRecs, int32(k))
+		}
+	}
+	sort.Slice(ks.byRecs, func(i, j int) bool {
+		a, b := ks.byRecs[i], ks.byRecs[j]
+		if ks.recs[a] != ks.recs[b] {
+			return ks.recs[a] > ks.recs[b]
+		}
+		return a < b
+	})
+	ks.Reset()
+	return ks
+}
+
+// Keys implements KeyedStream: the number of keys with at least one
+// record.
+func (ks *KeyedSpread) Keys() int { return len(ks.byRecs) }
+
+// Records returns the total record count (distinct items + duplicates).
+func (ks *KeyedSpread) Records() int { return ks.total }
+
+// Key returns the stream identity of original key index k (stable across
+// Reset; distinct per index).
+func (ks *KeyedSpread) Key(k int) uint64 {
+	// Mix64 is bijective, so distinct indexes yield distinct identities.
+	return xrand.Mix64(ks.keyBase + uint64(k))
+}
+
+// Spread returns the exact distinct-item count of key index k — the
+// ground truth for error measurement.
+func (ks *KeyedSpread) Spread(k int) int { return ks.spreads[k] }
+
+// item returns key index k's j-th distinct item (j < spreads[k]).
+func (ks *KeyedSpread) item(k int, j int) uint64 {
+	return xrand.Mix64(ks.Key(k)<<1 + uint64(j))
+}
+
+// Reset rewinds the stream to its beginning.
+func (ks *KeyedSpread) Reset() {
+	ks.round, ks.pos = 0, 0
+	ks.active = len(ks.byRecs)
+	ks.trimActive()
+}
+
+// trimActive shrinks the active prefix to the keys still emitting in the
+// current round (byRecs is sorted by descending record count).
+func (ks *KeyedSpread) trimActive() {
+	for ks.active > 0 && ks.recs[ks.byRecs[ks.active-1]] <= ks.round {
+		ks.active--
+	}
+}
+
+// NextRecord implements KeyedStream.
+func (ks *KeyedSpread) NextRecord() (key, item uint64, ok bool) {
+	if ks.pos >= ks.active {
+		if ks.active == 0 {
+			return 0, 0, false
+		}
+		ks.round++
+		ks.pos = 0
+		ks.trimActive()
+		if ks.active == 0 {
+			return 0, 0, false
+		}
+	}
+	k := int(ks.byRecs[ks.pos])
+	ks.pos++
+	s := ks.spreads[k]
+	j := ks.round
+	if j >= s {
+		// Duplicate rounds replay a pseudo-random earlier item.
+		j = int(xrand.Mix64(ks.Key(k)^(ks.dupSalt+uint64(ks.round))) % uint64(s))
+	}
+	return ks.Key(k), ks.item(k, j), true
+}
+
+// NextRecordBatch implements KeyedBatchStream: whole rounds are emitted
+// with no per-record interface dispatch. Panics if the buffers' lengths
+// differ.
+func (ks *KeyedSpread) NextRecordBatch(keys, items []uint64) int {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("stream: NextRecordBatch with buffer lengths %d, %d", len(keys), len(items)))
+	}
+	n := 0
+	for n < len(keys) {
+		if ks.pos >= ks.active {
+			if ks.active == 0 {
+				break
+			}
+			ks.round++
+			ks.pos = 0
+			ks.trimActive()
+			continue
+		}
+		span := ks.active - ks.pos
+		if span > len(keys)-n {
+			span = len(keys) - n
+		}
+		for i := 0; i < span; i++ {
+			k := int(ks.byRecs[ks.pos+i])
+			s := ks.spreads[k]
+			j := ks.round
+			if j >= s {
+				j = int(xrand.Mix64(ks.Key(k)^(ks.dupSalt+uint64(ks.round))) % uint64(s))
+			}
+			keys[n+i] = ks.Key(k)
+			items[n+i] = ks.item(k, j)
+		}
+		ks.pos += span
+		n += span
+	}
+	return n
+}
+
+var (
+	_ KeyedStream      = (*KeyedSpread)(nil)
+	_ KeyedBatchStream = (*KeyedSpread)(nil)
+)

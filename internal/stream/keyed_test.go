@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestKeyedSpreadGroundTruth(t *testing.T) {
+	spreads := []int{5, 0, 1, 17, 3, 17, 100}
+	ks := NewKeyedSpread(spreads, 2.5, 42)
+
+	wantKeys := 0
+	wantRecs := 0
+	for _, s := range spreads {
+		if s > 0 {
+			wantKeys++
+			wantRecs += int(float64(s)*2.5 + 0.5)
+		}
+	}
+	if ks.Keys() != wantKeys {
+		t.Errorf("Keys = %d, want %d", ks.Keys(), wantKeys)
+	}
+	if ks.Records() != wantRecs {
+		t.Errorf("Records = %d, want %d", ks.Records(), wantRecs)
+	}
+
+	// Drain per-record; per-key distinct items must equal the spread
+	// exactly, and total records must match.
+	perKey := map[uint64]map[uint64]bool{}
+	recs := 0
+	ForEachRecord(ks, func(key, item uint64) {
+		if perKey[key] == nil {
+			perKey[key] = map[uint64]bool{}
+		}
+		perKey[key][item] = true
+		recs++
+	})
+	if recs != wantRecs {
+		t.Errorf("drained %d records, want %d", recs, wantRecs)
+	}
+	if len(perKey) != wantKeys {
+		t.Errorf("drained %d keys, want %d", len(perKey), wantKeys)
+	}
+	for k, s := range spreads {
+		if s == 0 {
+			if perKey[ks.Key(k)] != nil {
+				t.Errorf("key %d (spread 0) emitted records", k)
+			}
+			continue
+		}
+		if got := len(perKey[ks.Key(k)]); got != s {
+			t.Errorf("key %d: %d distinct items, want %d", k, got, s)
+		}
+		if ks.Spread(k) != s {
+			t.Errorf("Spread(%d) = %d, want %d", k, ks.Spread(k), s)
+		}
+	}
+
+	// Exhausted stream stays exhausted.
+	if _, _, ok := ks.NextRecord(); ok {
+		t.Error("record after exhaustion")
+	}
+}
+
+func TestKeyedSpreadBatchMatchesPerRecord(t *testing.T) {
+	spreads := make([]int, 300)
+	r := xrand.New(9)
+	for i := range spreads {
+		spreads[i] = r.Intn(20) // including zeros
+	}
+	one := NewKeyedSpread(spreads, 1.8, 7)
+	bat := NewKeyedSpread(spreads, 1.8, 7)
+
+	var wantK, wantI []uint64
+	ForEachRecord(one, func(key, item uint64) {
+		wantK = append(wantK, key)
+		wantI = append(wantI, item)
+	})
+	var gotK, gotI []uint64
+	kbuf, ibuf := make([]uint64, 97), make([]uint64, 97)
+	ForEachRecordBatch(bat, kbuf, ibuf, func(keys, items []uint64) {
+		gotK = append(gotK, keys...)
+		gotI = append(gotI, items...)
+	})
+	if len(gotK) != len(wantK) {
+		t.Fatalf("batch drained %d records, per-record %d", len(gotK), len(wantK))
+	}
+	for i := range wantK {
+		if gotK[i] != wantK[i] || gotI[i] != wantI[i] {
+			t.Fatalf("record %d differs: (%x,%x) vs (%x,%x)", i, gotK[i], gotI[i], wantK[i], wantI[i])
+		}
+	}
+
+	// Reset replays identically.
+	bat.Reset()
+	n := bat.NextRecordBatch(kbuf, ibuf)
+	for i := 0; i < n; i++ {
+		if kbuf[i] != wantK[i] || ibuf[i] != wantI[i] {
+			t.Fatalf("after Reset, record %d differs", i)
+		}
+	}
+}
+
+func TestKeyedSpreadInterleaves(t *testing.T) {
+	// Equal spreads: every round sweeps all keys, so consecutive records
+	// never share a key until the stream is nearly done.
+	ks := NewKeyedSpread([]int{4, 4, 4}, 1, 1)
+	var keys []uint64
+	ForEachRecord(ks, func(key, _ uint64) { keys = append(keys, key) })
+	if len(keys) != 12 {
+		t.Fatalf("%d records", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			t.Errorf("records %d and %d share key %x (no interleaving)", i-1, i, keys[i])
+		}
+	}
+}
+
+func TestKeyedSpreadDeterminismAndSeeds(t *testing.T) {
+	spreads := []int{3, 9, 27}
+	a := NewKeyedSpread(spreads, 2, 5)
+	b := NewKeyedSpread(spreads, 2, 5)
+	c := NewKeyedSpread(spreads, 2, 6)
+	ak, _, _ := a.NextRecord()
+	bk, _, _ := b.NextRecord()
+	ck, _, _ := c.NextRecord()
+	if ak != bk {
+		t.Error("same seed produced different streams")
+	}
+	if ak == ck {
+		t.Error("different seeds share key identities")
+	}
+}
+
+func TestKeyedSpreadPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dup<1":           func() { NewKeyedSpread([]int{1}, 0.5, 1) },
+		"negative spread": func() { NewKeyedSpread([]int{-1}, 1, 1) },
+		"batch mismatch": func() {
+			NewKeyedSpread([]int{1}, 1, 1).NextRecordBatch(make([]uint64, 2), make([]uint64, 3))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKeyedSpreadLargeSkew(t *testing.T) {
+	// One heavy key among many light ones: total work must stay linear in
+	// the record count (the sorted-prefix cursor skips finished keys).
+	spreads := make([]int, 50_000)
+	for i := range spreads {
+		spreads[i] = 1
+	}
+	spreads[0] = 10_000
+	ks := NewKeyedSpread(spreads, 1, 3)
+	n := 0
+	kbuf, ibuf := make([]uint64, 4096), make([]uint64, 4096)
+	ForEachRecordBatch(ks, kbuf, ibuf, func(keys, _ []uint64) { n += len(keys) })
+	if want := 50_000 - 1 + 10_000; n != want {
+		t.Errorf("drained %d records, want %d", n, want)
+	}
+}

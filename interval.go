@@ -12,9 +12,11 @@ type Interval struct {
 	Level    float64 // the confidence level the interval was built for
 }
 
-// String renders the interval compactly.
+// String renders the interval compactly. The confidence level prints with
+// full precision (%g, not a rounded %.0f): a 99.5% interval must not
+// masquerade as "@100%".
 func (iv Interval) String() string {
-	return fmt.Sprintf("%.0f [%.0f, %.0f] @%.0f%%", iv.Estimate, iv.Lo, iv.Hi, 100*iv.Level)
+	return fmt.Sprintf("%.0f [%.0f, %.0f] @%g%%", iv.Estimate, iv.Lo, iv.Hi, 100*iv.Level)
 }
 
 // ConfidenceInterval returns an approximate two-sided confidence interval

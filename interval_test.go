@@ -86,6 +86,34 @@ func TestConfidenceIntervalClamps(t *testing.T) {
 	}
 }
 
+func TestIntervalStringLevels(t *testing.T) {
+	// The level must render at full precision: 99.5% used to print as
+	// "@100%" under %.0f.
+	iv := Interval{Estimate: 1234, Lo: 1200, Hi: 1268}
+	for _, c := range []struct {
+		level float64
+		want  string
+	}{
+		{0.95, "@95%"},
+		{0.995, "@99.5%"},
+		{0.99, "@99%"},
+		{0.999, "@99.9%"},
+		{0.9, "@90%"},
+	} {
+		iv.Level = c.level
+		if got := iv.String(); !strings.Contains(got, c.want) {
+			t.Errorf("level %v: String() = %q, want suffix %q", c.level, got, c.want)
+		}
+		if strings.Contains(iv.String(), "@100%") {
+			t.Errorf("level %v rendered as 100%%: %q", c.level, iv.String())
+		}
+	}
+	iv.Level = 0.995
+	if got, want := iv.String(), "1234 [1200, 1268] @99.5%"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
 func TestConfidenceIntervalPanics(t *testing.T) {
 	sk, _ := New(1000, 0.05)
 	for _, level := range []float64{0, 1, -0.5, 2} {

@@ -39,6 +39,30 @@ const envMagic = uint32(0x315a4b53)
 // envVersion is the current envelope format version.
 const envVersion = 1
 
+// Typed envelope errors. Every snapshot decoder in the module — Unmarshal,
+// the UnmarshalBinary methods, UnmarshalWindowed, UnmarshalStore — reports
+// a malformed envelope through one of these sentinels (wrapped with
+// context; test with errors.Is), so callers can distinguish "not a
+// snapshot at all" from "a snapshot this build cannot read".
+var (
+	// ErrTruncated reports input shorter than the structure it declares
+	// (envelope header, length-prefixed section, or container entry).
+	ErrTruncated = errors.New("sbitmap: truncated snapshot")
+	// ErrBadMagic reports input that does not start with the snapshot
+	// magic — it is not a counter snapshot.
+	ErrBadMagic = errors.New("sbitmap: bad snapshot magic (not a counter snapshot)")
+	// ErrUnsupportedVersion reports an envelope version this build does
+	// not read.
+	ErrUnsupportedVersion = errors.New("sbitmap: unsupported snapshot version")
+	// ErrUnknownKind reports an envelope kind code this build does not
+	// know (a snapshot from a newer build, or corruption).
+	ErrUnknownKind = errors.New("sbitmap: unknown snapshot kind")
+	// ErrKindMismatch reports a well-formed snapshot of a different kind
+	// than the decoder expects (e.g. an HLL blob handed to
+	// (*LogLog).UnmarshalBinary).
+	ErrKindMismatch = errors.New("sbitmap: snapshot kind mismatch")
+)
+
 // kindCodes maps each serializable kind to its envelope tag. Codes are
 // append-only: never renumber, or old snapshots become unreadable.
 var kindCodes = map[Kind]byte{
@@ -53,13 +77,16 @@ var kindCodes = map[Kind]byte{
 	KindExact:         9,
 	kindSharded:       10,
 	kindWindowed:      11,
+	kindStore:         12,
 }
 
-// kindSharded and kindWindowed tag decorator snapshots; they are not Spec
-// kinds (decorators are built around a Spec or factory, not from one).
+// kindSharded, kindWindowed, and kindStore tag decorator/container
+// snapshots; they are not Spec kinds (those layers are built around a
+// Spec or factory, not from one).
 const (
 	kindSharded  Kind = "sharded"
 	kindWindowed Kind = "windowed"
+	kindStore    Kind = "store"
 )
 
 func kindFromCode(code byte) (Kind, bool) {
@@ -91,17 +118,17 @@ func marshalEnvelope(kind Kind, inner encoding.BinaryMarshaler) ([]byte, error) 
 // openEnvelope validates the header and returns the kind and payload.
 func openEnvelope(data []byte) (Kind, []byte, error) {
 	if len(data) < 6 {
-		return "", nil, errors.New("sbitmap: truncated serialization envelope")
+		return "", nil, fmt.Errorf("%w: envelope header needs 6 bytes, have %d", ErrTruncated, len(data))
 	}
 	if binary.LittleEndian.Uint32(data) != envMagic {
-		return "", nil, errors.New("sbitmap: bad serialization magic (not a counter snapshot)")
+		return "", nil, ErrBadMagic
 	}
 	if v := data[4]; v != envVersion {
-		return "", nil, fmt.Errorf("sbitmap: unsupported snapshot version %d (this build reads version %d)", v, envVersion)
+		return "", nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrUnsupportedVersion, v, envVersion)
 	}
 	kind, ok := kindFromCode(data[5])
 	if !ok {
-		return "", nil, fmt.Errorf("sbitmap: unknown snapshot kind code %d", data[5])
+		return "", nil, fmt.Errorf("%w: kind code %d", ErrUnknownKind, data[5])
 	}
 	return kind, data[6:], nil
 }
@@ -113,7 +140,7 @@ func payloadOfKind(data []byte, want Kind) ([]byte, error) {
 		return nil, err
 	}
 	if kind != want {
-		return nil, fmt.Errorf("sbitmap: snapshot holds a %s counter, not %s", kind, want)
+		return nil, fmt.Errorf("%w: snapshot holds a %s counter, not %s", ErrKindMismatch, kind, want)
 	}
 	return payload, nil
 }
@@ -133,8 +160,9 @@ func Marshal(c any) ([]byte, error) {
 // Unmarshal reconstructs a counter serialized by Marshal (or any
 // MarshalBinary method in this module), dispatching on the envelope's kind
 // tag. The restored counter estimates immediately; pass the original
-// WithSeed / hash-family options to continue adding items. Windowed
-// snapshots are not Counters — restore those with UnmarshalWindowed.
+// WithSeed / hash-family options to continue adding items. Windowed and
+// keyed Store snapshots are not Counters — restore those with
+// UnmarshalWindowed and UnmarshalStore respectively.
 //
 // For backward compatibility, pre-envelope S-bitmap snapshots (raw
 // internal/core format) are still accepted.
@@ -210,6 +238,8 @@ func Unmarshal(data []byte, opts ...Option) (Counter, error) {
 		return unmarshalSharded(payload, opts)
 	case kindWindowed:
 		return nil, errors.New("sbitmap: snapshot holds a Windowed counter; restore it with UnmarshalWindowed")
+	case kindStore:
+		return nil, errors.New("sbitmap: snapshot holds a keyed Store; restore it with UnmarshalStore")
 	default:
 		return nil, fmt.Errorf("sbitmap: no decoder for snapshot kind %s", kind)
 	}

@@ -15,7 +15,10 @@ import (
 // depends on its fill history, so two S-bitmaps of overlapping streams
 // cannot be combined. The supported aggregation for S-bitmaps is
 // partitioning instead: route disjoint key ranges to independent sketches
-// and SUM the estimates, which is what Sharded implements.
+// and SUM the estimates, which is what Sharded implements. The same rule
+// carries to the keyed layer: Store.Merge unions per-key counters and so
+// needs a Mergeable kind, while sharding a Store BY key across machines
+// works for every kind.
 var ErrNotMergeable = errors.New("counter does not support union merge")
 
 // Mergeable is implemented by counters whose state supports union merging:

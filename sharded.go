@@ -2,7 +2,6 @@ package sbitmap
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -469,7 +468,7 @@ func (s *Sharded) UnmarshalBinary(data []byte) error {
 // serialization contract); the caller's options contribute the hash family.
 func unmarshalSharded(payload []byte, opts []Option) (*Sharded, error) {
 	if len(payload) < 28 {
-		return nil, errors.New("sbitmap: truncated sharded snapshot")
+		return nil, fmt.Errorf("%w: sharded container header", ErrTruncated)
 	}
 	s := &Sharded{
 		n:       math.Float64frombits(binary.LittleEndian.Uint64(payload)),
@@ -486,12 +485,12 @@ func unmarshalSharded(payload []byte, opts []Option) (*Sharded, error) {
 	payload = payload[28:]
 	for i := 0; i < count; i++ {
 		if len(payload) < 4 {
-			return nil, fmt.Errorf("sbitmap: truncated shard %d header", i)
+			return nil, fmt.Errorf("%w: shard %d header", ErrTruncated, i)
 		}
 		blen := int(binary.LittleEndian.Uint32(payload))
 		payload = payload[4:]
 		if blen > len(payload) {
-			return nil, fmt.Errorf("sbitmap: truncated shard %d body", i)
+			return nil, fmt.Errorf("%w: shard %d body", ErrTruncated, i)
 		}
 		shardOpts := append([]Option{}, opts...)
 		shardOpts = append(shardOpts, WithSeed(s.seed+uint64(i)*shardSeedStep))

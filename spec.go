@@ -127,6 +127,7 @@ func ParseSpec(s string) (Spec, error) {
 	if strings.TrimSpace(params) == "" {
 		return spec, nil
 	}
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(params, ",") {
 		key, val, ok := strings.Cut(kv, "=")
 		key = strings.ToLower(strings.TrimSpace(key))
@@ -134,13 +135,19 @@ func ParseSpec(s string) (Spec, error) {
 		if !ok || val == "" {
 			return Spec{}, fmt.Errorf("sbitmap: spec parameter %q is not key=value", kv)
 		}
+		if seen[key] {
+			// Silently letting the last duplicate win would make e.g.
+			// "hll:mbits=64,mbits=128" a quiet configuration surprise.
+			return Spec{}, fmt.Errorf("sbitmap: duplicate spec parameter %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "n":
 			if spec.N, err = strconv.ParseFloat(val, 64); err != nil || !(spec.N > 0) || math.IsInf(spec.N, 0) {
 				return Spec{}, fmt.Errorf("sbitmap: spec n=%q is not a positive number", val)
 			}
 		case "eps":
-			if spec.Eps, err = strconv.ParseFloat(val, 64); err != nil || !(spec.Eps > 0) {
+			if spec.Eps, err = strconv.ParseFloat(val, 64); err != nil || !(spec.Eps > 0) || math.IsInf(spec.Eps, 0) {
 				return Spec{}, fmt.Errorf("sbitmap: spec eps=%q is not a positive number", val)
 			}
 		case "mbits":

@@ -81,10 +81,41 @@ func TestParseSpecErrors(t *testing.T) {
 		"sbitmap:d=65",
 		"sbitmap:d=0",
 		"sbitmap:seed=-1",
+		"sbitmap:eps=1e999", // infinite after ParseFloat
+		// Duplicate parameters must not silently let the last one win.
+		"hll:mbits=64,mbits=128",
+		"sbitmap:n=1e6,eps=0.01,n=1e7",
+		"sbitmap:n=1e6,N=1e7,eps=0.01", // case-insensitive duplicate
+		"hll:mbits=64, mbits =128",     // whitespace around the duplicate
+		"sbitmap:seed=1,seed=1",        // even an identical repeat
 	}
 	for _, s := range bad {
 		if _, err := ParseSpec(s); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+	if _, err := ParseSpec("hll:mbits=64,mbits=128"); err == nil || !strings.Contains(err.Error(), "duplicate spec parameter") {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestParseSpecDuplicateKeyRoundTrip(t *testing.T) {
+	// The canonical String form emits each parameter once, so every valid
+	// Spec still round-trips after the duplicate-key rejection.
+	specs := []Spec{
+		{Kind: KindHLL, MemoryBits: 128},
+		{Kind: KindSBitmap, N: 1e6, Eps: 0.01, Seed: 3, Hash: "tabulation", Resolution: 30},
+		{Kind: KindMRBitmap, N: 1e5, MemoryBits: 4000, Seed: 11},
+	}
+	for _, want := range specs {
+		s := want.String()
+		got, err := ParseSpec(s)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip %q: got %+v, want %+v", s, got, want)
 		}
 	}
 }

@@ -1,0 +1,885 @@
+package sbitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/uhash"
+)
+
+// Store is the keyed face of the module: a concurrent collection of
+// per-key counters — the paper's headline deployment ("estimating flows
+// for each of the links", Section 7) and the spread-estimation workload of
+// Estan et al. (2006), where a monitor keeps one tiny sketch per flow,
+// host, or link, for millions of keys at once.
+//
+// Every counter is lazily materialized from a single Spec the first time
+// its key is seen, so all keys share one dimensioning, one hash seed, and
+// one hash family: estimates are comparable across keys, identically
+// specced Stores on different machines can Merge key-wise (for Mergeable
+// kinds), and a whole Store snapshots into one framed container
+// (MarshalBinary / UnmarshalStore).
+//
+// Keys are strings or 64-bit integers (any type whose underlying type is
+// one of the two). Access is lock-striped: keys hash onto independently
+// locked stripes of a key→counter map, so ingestion scales across
+// goroutines, and the keyed batch methods route a whole batch with one
+// hash pass and take each touched stripe's lock once per batch.
+//
+// A Store is safe for concurrent use. Memory is bounded by WithMaxKeys
+// plus the OnEvict hook; unbounded otherwise (one counter per distinct
+// key ever seen).
+type Store[K StoreKey] struct {
+	spec    Spec
+	stripes []storeStripe[K]
+	router  *uhash.Mixer
+	limit   int  // max keys (0 = unbounded)
+	isStr   bool // K's underlying type is string (cached keyIsString)
+	keys    atomic.Int64
+	onEvict func(K, Counter)
+
+	// newCounter is the per-key factory: Spec.New with the construction
+	// validated once in NewStore, so materialization cannot fail later.
+	newCounter func() Counter
+
+	// scratch pools the routing/grouping buffers of in-flight batches.
+	scratch sync.Pool
+}
+
+// StoreKey constrains Store keys to the two wire-representable key shapes:
+// strings (flow tuples, user ids, URLs) and 64-bit words (packed 5-tuples
+// like netflow.FlowKey, link or tenant ids).
+type StoreKey interface {
+	~string | ~uint64
+}
+
+// storeStripe is one lock-striped segment of the key space.
+type storeStripe[K StoreKey] struct {
+	mu sync.Mutex
+	m  map[K]Counter
+	_  [40]byte // pad to reduce false sharing between adjacent locks
+}
+
+// StoreOption configures a Store at construction.
+type StoreOption func(*storeConfig)
+
+type storeConfig struct {
+	stripes int
+	maxKeys int
+}
+
+// WithStripes sets the lock-stripe count (default 64). More stripes admit
+// more concurrent writers at a few hundred bytes each; the count does not
+// affect estimates or snapshots.
+func WithStripes(n int) StoreOption { return func(c *storeConfig) { c.stripes = n } }
+
+// WithMaxKeys bounds the number of live keys: materializing a key beyond
+// the limit first evicts an arbitrary key — from the new key's own
+// stripe when it holds one, otherwise from another uncontended stripe
+// (sketch eviction is estimator-agnostic — any victim loses exactly its
+// own per-key count). Pair with OnEvict to spill evicted counters.
+// Under concurrent ingest the bound can transiently overshoot by at
+// most the stripe count. 0 (the default) means unbounded.
+func WithMaxKeys(n int) StoreOption { return func(c *storeConfig) { c.maxKeys = n } }
+
+// storeDefaultStripes is the default lock-stripe count.
+const storeDefaultStripes = 64
+
+// storeRouterSalt decouples the stripe router's seed from the counters'
+// hash seed (their hash functions must be independent).
+const storeRouterSalt = 0x5b0a5ed5707e15
+
+// NewStore returns an empty keyed store whose per-key counters are built
+// from spec. The spec is validated by constructing (and discarding) one
+// counter, so any dimensioning error surfaces here, not mid-ingest.
+func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
+	cfg := storeConfig{stripes: storeDefaultStripes}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.stripes < 1 {
+		return nil, fmt.Errorf("sbitmap: store stripe count %d < 1", cfg.stripes)
+	}
+	if cfg.maxKeys < 0 {
+		return nil, fmt.Errorf("sbitmap: store key limit %d < 0", cfg.maxKeys)
+	}
+	if _, err := spec.New(); err != nil {
+		return nil, fmt.Errorf("sbitmap: store spec: %w", err)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Store[K]{
+		spec:    spec,
+		stripes: make([]storeStripe[K], cfg.stripes),
+		router:  uhash.NewMixer(seed ^ storeRouterSalt),
+		limit:   cfg.maxKeys,
+		isStr:   keyIsString[K](),
+		newCounter: func() Counter {
+			c, err := spec.New()
+			if err != nil {
+				// The spec built a counter above; a deterministic
+				// constructor cannot fail on the same input later.
+				panic(fmt.Sprintf("sbitmap: store spec stopped constructing: %v", err))
+			}
+			return c
+		},
+	}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[K]Counter)
+	}
+	return s, nil
+}
+
+// OnEvict installs the eviction hook: fn runs whenever WithMaxKeys (or a
+// future bounded-memory policy) removes a key, receiving the key and its
+// final counter — snapshot it, sum it into a coarser aggregate, or drop
+// it. The hook runs with the key's stripe locked: keep it cheap and do
+// not call back into the Store. Install before concurrent use.
+func (s *Store[K]) OnEvict(fn func(key K, c Counter)) { s.onEvict = fn }
+
+// Spec returns the Spec every per-key counter is built from.
+func (s *Store[K]) Spec() Spec { return s.spec }
+
+// keyIsString reports whether K's underlying type is string (the
+// constraint admits only string- and uint64-kinded keys). The hot paths
+// read the Store's cached isStr instead of re-deriving this per record.
+func keyIsString[K StoreKey]() bool {
+	var zero K
+	return reflect.TypeOf(zero).Kind() == reflect.String
+}
+
+// keyString and keyWord reinterpret a key as its underlying
+// representation (valid because K's underlying type is exactly string or
+// uint64); keyFromString / keyFromWord invert them.
+func keyString[K StoreKey](k K) string     { return *(*string)(unsafe.Pointer(&k)) }
+func keyWord[K StoreKey](k K) uint64       { return *(*uint64)(unsafe.Pointer(&k)) }
+func keyFromString[K StoreKey](v string) K { return *(*K)(unsafe.Pointer(&v)) }
+func keyFromWord[K StoreKey](v uint64) K   { return *(*K)(unsafe.Pointer(&v)) }
+
+// hashKey routes a key: the high word of its 128-bit router hash.
+func (s *Store[K]) hashKey(key K) uint64 {
+	if s.isStr {
+		hi, _ := s.router.Sum128String(keyString(key))
+		return hi
+	}
+	hi, _ := s.router.Sum128Uint64(keyWord(key))
+	return hi
+}
+
+// stripeIndex maps a router hash word onto [0, stripes) by multiply-shift
+// (unbiased for any stripe count).
+func (s *Store[K]) stripeIndex(word uint64) uint64 {
+	return ((word >> 32) * uint64(len(s.stripes))) >> 32
+}
+
+func (s *Store[K]) stripeFor(key K) *storeStripe[K] {
+	return &s.stripes[s.stripeIndex(s.hashKey(key))]
+}
+
+// counterLocked returns key's counter, materializing (and, at the key
+// limit, evicting) under the stripe lock the caller holds.
+func (s *Store[K]) counterLocked(st *storeStripe[K], key K) Counter {
+	if c, ok := st.m[key]; ok {
+		return c
+	}
+	if s.limit > 0 && int(s.keys.Load()) >= s.limit {
+		s.evictOneLocked(st, key)
+	}
+	c := s.newCounter()
+	st.m[key] = c
+	s.keys.Add(1)
+	return c
+}
+
+// evictOneLocked removes one key (≠ incoming) and fires the eviction
+// hook: first from the locked stripe, else from another stripe taken
+// with TryLock (never a blocking second lock, so eviction cannot
+// deadlock against batch ingest or a concurrent evictor). Map iteration
+// order makes the victim effectively random, which is the right neutral
+// policy for sketches: no per-key access metadata, and any victim
+// forfeits exactly its own count.
+func (s *Store[K]) evictOneLocked(st *storeStripe[K], incoming K) {
+	evictFrom := func(cand *storeStripe[K], skipIncoming bool) bool {
+		for k, c := range cand.m {
+			if skipIncoming && k == incoming {
+				continue
+			}
+			delete(cand.m, k)
+			s.keys.Add(-1)
+			if s.onEvict != nil {
+				s.onEvict(k, c)
+			}
+			return true
+		}
+		return false
+	}
+	if evictFrom(st, true) {
+		return
+	}
+	for i := range s.stripes {
+		cand := &s.stripes[i]
+		if cand == st || !cand.mu.TryLock() {
+			continue
+		}
+		ok := evictFrom(cand, false)
+		cand.mu.Unlock()
+		if ok {
+			return
+		}
+	}
+	// Every other stripe was empty or busy; the insert proceeds and the
+	// store transiently overshoots (bounded by the stripe count).
+}
+
+// Add offers item to key's counter, materializing it on first sight; it
+// reports whether the counter's state changed. Safe for concurrent use.
+func (s *Store[K]) Add(key K, item []byte) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	changed := s.counterLocked(st, key).Add(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// AddUint64 offers a 64-bit item to key's counter; safe for concurrent
+// use.
+func (s *Store[K]) AddUint64(key K, item uint64) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	changed := s.counterLocked(st, key).AddUint64(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// AddString offers a string item to key's counter; safe for concurrent
+// use.
+func (s *Store[K]) AddString(key K, item string) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	changed := s.counterLocked(st, key).AddString(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// storeScratch holds one in-flight batch's routing state: each record's
+// (key, original position) grouped stripe-contiguously by counting sort,
+// plus the per-stripe layout and an item-gather buffer.
+type storeScratch[K StoreKey] struct {
+	hi     []uint64 // router high words, one per record
+	recs   []storeRec[K]
+	counts []int
+	offs   []int
+	buf64  []uint64
+	bufS   []string
+}
+
+// storeRec carries a record's key through stripe grouping; pos (the
+// record's index in the caller's slices) fetches the item when the run
+// is ingested. The counting sort preserves original record order within
+// each stripe, which keeps the batch path bit-identical to per-item
+// ingestion.
+type storeRec[K StoreKey] struct {
+	key K
+	pos int
+}
+
+func (s *Store[K]) getScratch(n int) *storeScratch[K] {
+	sc, _ := s.scratch.Get().(*storeScratch[K])
+	if sc == nil {
+		sc = &storeScratch[K]{}
+	}
+	if cap(sc.hi) < n {
+		sc.hi = make([]uint64, n)
+		sc.recs = make([]storeRec[K], n)
+	}
+	if cap(sc.counts) < len(s.stripes) {
+		sc.counts = make([]int, len(s.stripes))
+		sc.offs = make([]int, len(s.stripes))
+	}
+	return sc
+}
+
+// putScratch returns leased buffers, dropping string references (keys and
+// gathered items) so the pool cannot pin a caller's batch in memory.
+func (s *Store[K]) putScratch(sc *storeScratch[K]) {
+	if s.isStr {
+		clear(sc.recs)
+	}
+	clear(sc.bufS)
+	s.scratch.Put(sc)
+}
+
+// hashKeys fills sc.hi with the router hash of every key, through the
+// router's batch path.
+func (s *Store[K]) hashKeys(keys []K, hi []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.isStr {
+		strs := unsafe.Slice((*string)(unsafe.Pointer(&keys[0])), len(keys))
+		s.router.Sum128StringBatch(strs, hi, nil)
+		return
+	}
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&keys[0])), len(keys))
+	s.router.Sum128Uint64Batch(words, hi, nil)
+}
+
+// group routes every key and counting-sorts the records
+// stripe-contiguously: on return sc.recs[offs[i]-counts[i]:offs[i]] are
+// stripe i's records in original batch order.
+func (s *Store[K]) group(sc *storeScratch[K], keys []K) (counts, offs []int) {
+	n := len(keys)
+	hi := sc.hi[:n]
+	s.hashKeys(keys, hi)
+	counts = sc.counts[:len(s.stripes)]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, w := range hi {
+		idx := s.stripeIndex(w)
+		hi[i] = idx
+		counts[idx]++
+	}
+	offs = sc.offs[:len(s.stripes)]
+	sum := 0
+	for i, c := range counts {
+		offs[i] = sum
+		sum += c
+	}
+	recs := sc.recs[:n]
+	for i, key := range keys {
+		idx := hi[i]
+		recs[offs[idx]] = storeRec[K]{key: key, pos: i}
+		offs[idx]++
+	}
+	return counts, offs
+}
+
+// storeRunBatchMin is the run length at which a key's run switches from
+// looping the counter's per-item Add (map lookup already amortized per
+// run) to its BulkAdder path. Short runs must NOT use BulkAdder: its
+// setup — including the batch-hash scratch many sketches allocate lazily
+// on first use (~4 KiB) — would be paid per tiny per-key sketch, which at
+// a million keys turns into gigabytes of scratch and dominates runtime.
+// Long runs amortize that and win on fused hashing.
+const storeRunBatchMin = 64
+
+// drainStripes visits every stripe holding part of a grouped batch,
+// opportunistically (TryLock sweeps, like Sharded's batch path) so
+// concurrent batches fan out across stripes instead of convoying; a sweep
+// finding every pending stripe busy blocks on the first. counts is
+// consumed. ingest runs with the stripe locked.
+func (s *Store[K]) drainStripes(counts, offs []int, ingest func(st *storeStripe[K], start, end int) int) int {
+	changed := 0
+	pending := 0
+	for _, c := range counts {
+		if c > 0 {
+			pending++
+		}
+	}
+	for pending > 0 {
+		progressed := false
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			st := &s.stripes[i]
+			if !st.mu.TryLock() {
+				continue
+			}
+			changed += ingest(st, offs[i]-c, offs[i])
+			st.mu.Unlock()
+			counts[i] = 0
+			pending--
+			progressed = true
+		}
+		if !progressed {
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				st := &s.stripes[i]
+				st.mu.Lock()
+				changed += ingest(st, offs[i]-c, offs[i])
+				st.mu.Unlock()
+				counts[i] = 0
+				pending--
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// AddBatch64 offers record i's item items[i] to key keys[i]'s counter,
+// for the whole batch, and returns how many offers changed counter state.
+// One batched hash pass routes every key, a counting sort groups records
+// stripe-contiguously (original order preserved within each stripe), and
+// each touched stripe's lock is taken once per batch. Within a stripe,
+// maximal runs of adjacent same-key records share one map lookup, and
+// long runs (≥64 records — exporter flushes, hot keys) go through the
+// counter's BulkAdder fast path.
+//
+// State-equivalent to calling AddUint64(keys[i], items[i]) in slice
+// order: records are never reordered within a key (or at all within a
+// stripe), so the resulting counters are bit-identical. Safe for
+// concurrent use. Panics if the slices' lengths differ.
+func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("sbitmap: Store.AddBatch64 with %d keys and %d items", len(keys), len(items)))
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	sc := s.getScratch(len(keys))
+	defer s.putScratch(sc)
+	counts, offs := s.group(sc, keys)
+	if cap(sc.buf64) < len(items) {
+		sc.buf64 = make([]uint64, len(items))
+	}
+	return s.ingestGrouped(sc, counts, offs,
+		func(c Counter, pos int) bool { return c.AddUint64(items[pos]) },
+		func(c Counter, seg []storeRec[K]) int {
+			// BulkAdder needs the run's items contiguous; gather them.
+			buf := sc.buf64[:len(seg)]
+			for i, r := range seg {
+				buf[i] = items[r.pos]
+			}
+			return AddBatch64(c, buf)
+		})
+}
+
+// AddBatchString is AddBatch64 for string items; see AddBatch64 for the
+// routing, equivalence, and concurrency contract.
+func (s *Store[K]) AddBatchString(keys []K, items []string) int {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("sbitmap: Store.AddBatchString with %d keys and %d items", len(keys), len(items)))
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	sc := s.getScratch(len(keys))
+	defer s.putScratch(sc)
+	counts, offs := s.group(sc, keys)
+	if cap(sc.bufS) < len(items) {
+		sc.bufS = make([]string, len(items))
+	}
+	return s.ingestGrouped(sc, counts, offs,
+		func(c Counter, pos int) bool { return c.AddString(items[pos]) },
+		func(c Counter, seg []storeRec[K]) int {
+			buf := sc.bufS[:len(seg)]
+			for i, r := range seg {
+				buf[i] = items[r.pos]
+			}
+			return AddBatchString(c, buf)
+		})
+}
+
+// ingestGrouped is the shared body of the keyed batch methods: drain the
+// grouped batch stripe by stripe, split each stripe's segment into
+// maximal adjacent same-key runs, materialize each run's counter once,
+// and dispatch the run — addOne per record below storeRunBatchMin,
+// addRun (the BulkAdder path, with its own gather) at or above it.
+func (s *Store[K]) ingestGrouped(sc *storeScratch[K], counts, offs []int,
+	addOne func(c Counter, pos int) bool,
+	addRun func(c Counter, seg []storeRec[K]) int,
+) int {
+	return s.drainStripes(counts, offs, func(st *storeStripe[K], start, end int) int {
+		seg := sc.recs[start:end]
+		changed := 0
+		for j := 0; j < len(seg); {
+			k := j + 1
+			for k < len(seg) && seg[k].key == seg[j].key {
+				k++
+			}
+			c := s.counterLocked(st, seg[j].key)
+			if k-j < storeRunBatchMin {
+				for _, r := range seg[j:k] {
+					if addOne(c, r.pos) {
+						changed++
+					}
+				}
+			} else {
+				changed += addRun(c, seg[j:k])
+			}
+			j = k
+		}
+		return changed
+	})
+}
+
+// Estimate returns key's distinct-count estimate; ok is false if the key
+// has never been seen (or was evicted). Safe for concurrent use.
+func (s *Store[K]) Estimate(key K) (estimate float64, ok bool) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	c, ok := st.m[key]
+	if ok {
+		estimate = c.Estimate()
+	}
+	st.mu.Unlock()
+	return estimate, ok
+}
+
+// Len returns the number of live keys. Safe for concurrent use.
+func (s *Store[K]) Len() int { return int(s.keys.Load()) }
+
+// Remove deletes key and reports whether it was present. The eviction
+// hook does not fire — Remove is the caller's own policy, not the
+// store's. Safe for concurrent use.
+func (s *Store[K]) Remove(key K) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	_, ok := st.m[key]
+	if ok {
+		delete(st.m, key)
+		s.keys.Add(-1)
+	}
+	st.mu.Unlock()
+	return ok
+}
+
+// ForEach calls fn for every live key until fn returns false. Stripes are
+// visited in order, keys within a stripe in map order (unspecified). fn
+// runs with the key's stripe locked: read the counter, do not mutate it,
+// and do not call Store methods (self-deadlock). Keys materialized or
+// evicted concurrently in not-yet-visited stripes may or may not be seen.
+func (s *Store[K]) ForEach(fn func(key K, c Counter) bool) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k, c := range st.m {
+			if !fn(k, c) {
+				st.mu.Unlock()
+				return
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// KeyEstimate is one TopK entry.
+type KeyEstimate[K StoreKey] struct {
+	Key      K
+	Estimate float64
+}
+
+// TopK returns the k keys with the largest estimates, in descending
+// order (ties broken by ascending key) — the heavy-hitter query of
+// per-flow monitoring. It holds one stripe lock at a time and maintains a
+// k-sized heap, so cost is O(keys·log k) with O(k) extra memory. The
+// result is a consistent ranking only at a quiescent point.
+func (s *Store[K]) TopK(k int) []KeyEstimate[K] {
+	if k <= 0 {
+		return nil
+	}
+	// Min-heap of the best k seen so far; heap[0] is the current cutoff.
+	heap := make([]KeyEstimate[K], 0, k)
+	worse := func(a, b KeyEstimate[K]) bool {
+		return a.Estimate < b.Estimate || (a.Estimate == b.Estimate && a.Key > b.Key)
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && worse(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && worse(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	s.ForEach(func(key K, c Counter) bool {
+		e := KeyEstimate[K]{Key: key, Estimate: c.Estimate()}
+		if len(heap) < k {
+			heap = append(heap, e)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+		} else if worse(heap[0], e) {
+			heap[0] = e
+			siftDown(0)
+		}
+		return true
+	})
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	return heap
+}
+
+// SizeBits returns the summed summary memory of every live counter (the
+// paper's accounting). Safe for concurrent use; a consistent total only
+// at a quiescent point.
+func (s *Store[K]) SizeBits() int {
+	total := 0
+	s.ForEach(func(_ K, c Counter) bool {
+		total += c.SizeBits()
+		return true
+	})
+	return total
+}
+
+// storeEntryOverhead approximates the per-key map cost beyond the key and
+// counter themselves: bucket slot (tophash byte, key and interface-value
+// cells at ~13/8 load factor) plus the counter interface header.
+const storeEntryOverhead = 48
+
+// Footprint returns the store's resident process memory in bytes: the
+// stripe array, the maps' per-entry overhead (approximate — Go maps do
+// not expose their exact layout), key storage (string bytes for string
+// keys), and every counter's own footprint. Safe for concurrent use; one
+// stripe is locked at a time.
+func (s *Store[K]) Footprint() int {
+	var zero K
+	total := int(unsafe.Sizeof(*s)) + int(unsafe.Sizeof(storeStripe[K]{}))*cap(s.stripes)
+	isStr := s.isStr
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += len(st.m) * (int(unsafe.Sizeof(zero)) + storeEntryOverhead)
+		for k, c := range st.m {
+			if isStr {
+				total += len(keyString(k))
+			}
+			total += c.Footprint()
+		}
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Reset drops every key and its counter; the eviction hook does not
+// fire. Not atomic with respect to concurrent Adds.
+func (s *Store[K]) Reset() {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		s.keys.Add(-int64(len(st.m)))
+		st.m = make(map[K]Counter)
+		st.mu.Unlock()
+	}
+}
+
+// Merge folds other's per-key counters into s by union merge: for every
+// key in other, s's counter (materialized if absent, under the usual
+// eviction policy) absorbs other's. Both stores must be built from the
+// same Spec, and the Spec's kind must implement Mergeable — see
+// ErrNotMergeable for which kinds do. other must be quiescent for the
+// duration; s may be ingesting concurrently.
+func (s *Store[K]) Merge(other *Store[K]) error {
+	if other == nil || s == other {
+		return nil
+	}
+	if s.spec != other.spec {
+		return fmt.Errorf("sbitmap: merge of stores with different specs (%s vs %s)", s.spec, other.spec)
+	}
+	// Mergeability is a property of the shared spec; refuse up front so a
+	// non-mergeable kind cannot leave s half-mutated (or littered with
+	// empty adopted counters).
+	if _, ok := s.newCounter().(Mergeable); !ok {
+		return fmt.Errorf("sbitmap: store of kind %s: %w", s.spec.Kind, ErrNotMergeable)
+	}
+	for i := range other.stripes {
+		ot := &other.stripes[i]
+		ot.mu.Lock()
+		keys := make([]K, 0, len(ot.m))
+		srcs := make([]Counter, 0, len(ot.m))
+		for k, c := range ot.m {
+			keys = append(keys, k)
+			srcs = append(srcs, c)
+		}
+		ot.mu.Unlock()
+		for j, key := range keys {
+			// Same router (specs match), so the key lands on the same
+			// stripe index in both stores; locks are never held pairwise.
+			st := &s.stripes[s.stripeIndex(s.hashKey(key))]
+			st.mu.Lock()
+			dst := s.counterLocked(st, key)
+			err := Merge(dst, srcs[j])
+			st.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("sbitmap: store key %v: %w", key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Store snapshot container: the envelope (kindStore) frames a key-typed
+// sequence of per-key counter envelopes —
+//
+//	[0]    key type (1 = uint64, 2 = string)
+//	[1:3]  spec length   (little-endian uint16)
+//	       spec string   (canonical Spec.String form)
+//	[..]   key count     (little-endian uint64)
+//	per key:
+//	       uint64 key    (8 bytes LE)            — key type 1
+//	       length-prefixed key bytes (uint32 LE) — key type 2
+//	       counter blob length (uint32 LE), counter envelope
+//
+// The spec string carries the seed and hash family, so a restored store
+// keeps counting without extra options — unlike bare counter snapshots,
+// whose hash configuration is supplied out of band.
+const (
+	storeKeyUint64 = 1
+	storeKeyString = 2
+)
+
+func storeKeyCode[K StoreKey]() byte {
+	if keyIsString[K]() {
+		return storeKeyString
+	}
+	return storeKeyUint64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the whole store —
+// spec and every (key, counter) pair — in one framed container. Stripes
+// are locked one at a time; marshal at a quiescent point for a consistent
+// snapshot.
+func (s *Store[K]) MarshalBinary() ([]byte, error) {
+	spec := s.spec.String()
+	if len(spec) > 0xffff {
+		return nil, fmt.Errorf("sbitmap: store spec string %d bytes long", len(spec))
+	}
+	payload := make([]byte, 0, 16+len(spec)+32*s.Len())
+	payload = append(payload, storeKeyCode[K]())
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(spec)))
+	payload = append(payload, spec...)
+	countAt := len(payload)
+	payload = binary.LittleEndian.AppendUint64(payload, 0) // patched below
+	count := uint64(0)
+	var err error
+	s.ForEach(func(key K, c Counter) bool {
+		var blob []byte
+		blob, err = Marshal(c)
+		if err != nil {
+			err = fmt.Errorf("sbitmap: store key %v: %w", key, err)
+			return false
+		}
+		if keyIsString[K]() {
+			ks := keyString(key)
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(ks)))
+			payload = append(payload, ks...)
+		} else {
+			payload = binary.LittleEndian.AppendUint64(payload, keyWord(key))
+		}
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(blob)))
+		payload = append(payload, blob...)
+		count++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint64(payload[countAt:], count)
+	return appendEnvelope(kindStore, payload), nil
+}
+
+// UnmarshalStore reconstructs a Store serialized by MarshalBinary. K must
+// match the snapshot's key type. The snapshot's spec string restores the
+// seed and hash family, so the store continues counting immediately; opts
+// re-apply deployment shape (stripes, key limit), which snapshots do not
+// record. A WithMaxKeys limit smaller than the snapshot's key count is an
+// error — restoring never silently drops keys.
+func UnmarshalStore[K StoreKey](data []byte, opts ...StoreOption) (*Store[K], error) {
+	payload, err := payloadOfKind(data, kindStore)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 11 {
+		return nil, fmt.Errorf("%w: store header", ErrTruncated)
+	}
+	keyCode := payload[0]
+	if keyCode != storeKeyCode[K]() {
+		kinds := map[byte]string{storeKeyUint64: "uint64", storeKeyString: "string"}
+		return nil, fmt.Errorf("sbitmap: store snapshot has %s keys, not %s",
+			kinds[keyCode], kinds[storeKeyCode[K]()])
+	}
+	specLen := int(binary.LittleEndian.Uint16(payload[1:]))
+	payload = payload[3:]
+	if len(payload) < specLen+8 {
+		return nil, fmt.Errorf("%w: store spec", ErrTruncated)
+	}
+	spec, err := ParseSpec(string(payload[:specLen]))
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: store snapshot spec: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(payload[specLen:])
+	payload = payload[specLen+8:]
+	s, err := NewStore[K](spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if s.limit > 0 && count > uint64(s.limit) {
+		// A restore never silently drops keys; shrinking is the caller's
+		// explicit decision (restore unbounded, then Remove or re-limit).
+		return nil, fmt.Errorf("sbitmap: store snapshot holds %d keys, above the WithMaxKeys limit %d", count, s.limit)
+	}
+	// The spec's seed/hash options restore each counter's full hash
+	// configuration (Spec.options omits defaults, which Unmarshal shares).
+	specOpts, err := spec.options()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var key K
+		if keyCode == storeKeyString {
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("%w: store key %d header", ErrTruncated, i)
+			}
+			klen := int(binary.LittleEndian.Uint32(payload))
+			payload = payload[4:]
+			if klen > len(payload) {
+				return nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
+			}
+			key = keyFromString[K](string(payload[:klen]))
+			payload = payload[klen:]
+		} else {
+			if len(payload) < 8 {
+				return nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
+			}
+			key = keyFromWord[K](binary.LittleEndian.Uint64(payload))
+			payload = payload[8:]
+		}
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: store counter %d header", ErrTruncated, i)
+		}
+		blen := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if blen > len(payload) {
+			return nil, fmt.Errorf("%w: store counter %d", ErrTruncated, i)
+		}
+		c, err := Unmarshal(payload[:blen], specOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("sbitmap: store key %v: %w", key, err)
+		}
+		payload = payload[blen:]
+		st := &s.stripes[s.stripeIndex(s.hashKey(key))]
+		if _, dup := st.m[key]; dup {
+			return nil, fmt.Errorf("sbitmap: store snapshot repeats key %v", key)
+		}
+		st.m[key] = c
+		s.keys.Add(1)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("sbitmap: %d trailing bytes after last store entry", len(payload))
+	}
+	return s, nil
+}

@@ -270,7 +270,7 @@ func UnmarshalWindowed(data []byte, onClose func(WindowResult), opts ...Option) 
 		return nil, err
 	}
 	if len(payload) < 41 {
-		return nil, errors.New("sbitmap: truncated windowed snapshot")
+		return nil, fmt.Errorf("%w: windowed snapshot header", ErrTruncated)
 	}
 	width := time.Duration(binary.LittleEndian.Uint64(payload))
 	if width <= 0 {
@@ -285,12 +285,12 @@ func UnmarshalWindowed(data []byte, onClose func(WindowResult), opts ...Option) 
 
 	next := func() ([]byte, error) {
 		if len(payload) < 4 {
-			return nil, errors.New("sbitmap: truncated windowed sketch header")
+			return nil, fmt.Errorf("%w: windowed sketch header", ErrTruncated)
 		}
 		blen := int(binary.LittleEndian.Uint32(payload))
 		payload = payload[4:]
 		if blen > len(payload) {
-			return nil, errors.New("sbitmap: truncated windowed sketch body")
+			return nil, fmt.Errorf("%w: windowed sketch body", ErrTruncated)
 		}
 		blob := payload[:blen]
 		payload = payload[blen:]
