@@ -1,10 +1,12 @@
-// Command distinct estimates the number of distinct lines on stdin using a
-// chosen sketch — a minimal production-shaped consumer of the library.
+// Command distinct estimates the number of distinct lines on stdin (or in
+// the named files) using a chosen sketch — a minimal production-shaped
+// consumer of the library.
 //
 // Usage:
 //
 //	cat access.log | awk '{print $1}' | distinct                 # S-bitmap, defaults
 //	distinct -algo hll -mbits 4096 < ids.txt                     # HyperLogLog
+//	distinct -algo hll -mbits 4096 ids.txt more-ids.txt          # file arguments
 //	distinct -algo exact < ids.txt                               # ground truth
 //	distinct -algo all -n 1e7 -eps 0.02 < ids.txt                # compare everything
 //	distinct -spec "sbitmap:n=1e6,eps=0.01" < ids.txt            # spec string
@@ -27,8 +29,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,25 +40,66 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored for exit-code testing: every failure
+// — bad flags, an unparseable -spec, an unreadable input file, a stream
+// error mid-read — reports a clear one-line message on stderr and a
+// non-zero exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distinct", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		algo    = flag.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
-		spec    = flag.String("spec", "", "semicolon-separated sketch specs (overrides -algo), e.g. 'sbitmap:n=1e6,eps=0.01'")
-		n       = flag.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
-		eps     = flag.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
-		mbits   = flag.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
-		seed    = flag.Uint64("seed", 1, "hash seed")
-		keyed   = flag.Bool("keyed", false, "per-key counting: lines are 'key item', one counter per key")
-		top     = flag.Int("top", 10, "with -keyed: keys to report, by descending estimate")
-		maxKeys = flag.Int("maxkeys", 0, "with -keyed: bound live keys (0 = unbounded)")
+		algo    = fs.String("algo", "sbitmap", "sketch: sbitmap|hll|loglog|mr|lc|fm|adaptive|exact|all")
+		spec    = fs.String("spec", "", "semicolon-separated sketch specs (overrides -algo), e.g. 'sbitmap:n=1e6,eps=0.01'")
+		n       = fs.Float64("n", 1e6, "cardinality upper bound N (dimensioning)")
+		eps     = fs.Float64("eps", 0.01, "target RRMSE for the S-bitmap")
+		mbits   = fs.Int("mbits", 0, "memory budget in bits for budget-based sketches (default: what the S-bitmap needs)")
+		seed    = fs.Uint64("seed", 1, "hash seed")
+		keyed   = fs.Bool("keyed", false, "per-key counting: lines are 'key item', one counter per key")
+		top     = fs.Int("top", 10, "with -keyed: keys to report, by descending estimate")
+		maxKeys = fs.Int("maxkeys", 0, "with -keyed: bound live keys (0 = unbounded)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1 // the FlagSet already printed the message and usage
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "distinct: %v\n", err)
+		return 1
+	}
+
+	// Positional arguments name input files, read in order; no arguments
+	// means stdin. Open them all up front so a typo'd path fails before
+	// any counting starts.
+	input := stdin
+	if fs.NArg() > 0 {
+		files := make([]io.Reader, 0, fs.NArg())
+		var closers []io.Closer
+		defer func() {
+			for _, c := range closers {
+				c.Close()
+			}
+		}()
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				return fail(err)
+			}
+			files = append(files, f)
+			closers = append(closers, f)
+		}
+		input = io.MultiReader(files...)
+	}
 
 	if *keyed {
-		if err := runKeyed(*spec, *algo, *n, *eps, *mbits, *seed, *top, *maxKeys); err != nil {
-			fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
-			os.Exit(1)
+		if err := runKeyed(input, stdout, *spec, *algo, *n, *eps, *mbits, *seed, *top, *maxKeys); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	var counters []namedCounter
@@ -66,15 +111,13 @@ func main() {
 		if budget == 0 {
 			budget, err = sbitmap.Memory(*n, *eps)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
-				os.Exit(1)
+				return fail(err)
 			}
 		}
 		counters, err = buildCounters(*algo, *n, *eps, budget, *seed)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "distinct: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
 	// Lines feed every counter through the batch ingestion path: each line
@@ -82,7 +125,7 @@ func main() {
 	// full batch is offered to each sketch in one AddBatchString call
 	// (hashing identically to per-line Add of the raw bytes).
 	const lineBatch = 512
-	scanner := bufio.NewScanner(os.Stdin)
+	scanner := bufio.NewScanner(input)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lines := 0
 	batch := make([]string, 0, lineBatch)
@@ -103,12 +146,11 @@ func main() {
 		lines++
 	}
 	if err := scanner.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "distinct: reading stdin: %v\n", err)
-		os.Exit(1)
+		return fail(fmt.Errorf("reading input: %w", err))
 	}
 	flush()
 
-	fmt.Printf("%d lines read\n", lines)
+	fmt.Fprintf(stdout, "%d lines read\n", lines)
 	width := 10
 	for _, c := range counters {
 		if len(c.name) > width {
@@ -116,14 +158,15 @@ func main() {
 		}
 	}
 	for _, c := range counters {
-		fmt.Printf("%-*s estimate %12.0f   memory %8d bits\n",
+		fmt.Fprintf(stdout, "%-*s estimate %12.0f   memory %8d bits\n",
 			width, c.name, c.counter.Estimate(), c.counter.SizeBits())
 	}
+	return 0
 }
 
 // runKeyed is the -keyed mode: one counter per key in a Store, lines
 // split into key (first field) and item (rest of the line).
-func runKeyed(specStr, algo string, n, eps float64, mbits int, seed uint64, top, maxKeys int) error {
+func runKeyed(input io.Reader, stdout io.Writer, specStr, algo string, n, eps float64, mbits int, seed uint64, top, maxKeys int) error {
 	spec, err := keyedSpec(specStr, algo, n, eps, mbits, seed)
 	if err != nil {
 		return err
@@ -143,7 +186,7 @@ func runKeyed(specStr, algo string, n, eps float64, mbits int, seed uint64, top,
 	// copied out of the scanner's volatile buffer, and a full batch routes
 	// with one hash pass and one lock per touched stripe.
 	const lineBatch = 512
-	scanner := bufio.NewScanner(os.Stdin)
+	scanner := bufio.NewScanner(input)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lines, skipped := 0, 0
 	keys := make([]string, 0, lineBatch)
@@ -176,20 +219,20 @@ func runKeyed(specStr, algo string, n, eps float64, mbits int, seed uint64, top,
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("reading stdin: %w", err)
+		return fmt.Errorf("reading input: %w", err)
 	}
 	flush()
 
-	fmt.Printf("%d lines read", lines)
+	fmt.Fprintf(stdout, "%d lines read", lines)
 	if skipped > 0 {
-		fmt.Printf(" (%d without 'key item' shape skipped)", skipped)
+		fmt.Fprintf(stdout, " (%d without 'key item' shape skipped)", skipped)
 	}
-	fmt.Printf("\n%d keys tracked, spec %s, %d bits of sketch, %d bytes resident",
+	fmt.Fprintf(stdout, "\n%d keys tracked, spec %s, %d bits of sketch, %d bytes resident",
 		store.Len(), spec, store.SizeBits(), store.Footprint())
 	if evicted > 0 {
-		fmt.Printf(", %d keys evicted (-maxkeys %d)", evicted, maxKeys)
+		fmt.Fprintf(stdout, ", %d keys evicted (-maxkeys %d)", evicted, maxKeys)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	ranked := store.TopK(top)
 	if len(ranked) > 0 {
 		width := 10
@@ -198,9 +241,9 @@ func runKeyed(specStr, algo string, n, eps float64, mbits int, seed uint64, top,
 				width = len(ke.Key)
 			}
 		}
-		fmt.Printf("\ntop %d keys by estimated distinct items:\n", len(ranked))
+		fmt.Fprintf(stdout, "\ntop %d keys by estimated distinct items:\n", len(ranked))
 		for _, ke := range ranked {
-			fmt.Printf("%-*s %12.0f\n", width, ke.Key, ke.Estimate)
+			fmt.Fprintf(stdout, "%-*s %12.0f\n", width, ke.Key, ke.Estimate)
 		}
 	}
 	return nil

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	sbitmap "repro"
@@ -84,5 +89,104 @@ func TestKeyedSpecResolution(t *testing.T) {
 		if est, ok := st.Estimate("k"); !ok || est < 0.5 {
 			t.Errorf("%s: estimate %v ok=%v", algo, est, ok)
 		}
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	// Satellite acceptance: unreadable input and bad -spec exit non-zero
+	// with a clear one-line message, never a bare panic-style failure.
+	dir := t.TempDir()
+	good := filepath.Join(dir, "lines.txt")
+	if err := os.WriteFile(good, []byte("a\nb\na\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr; "" means stderr must be empty
+	}{
+		{"ok stdin", []string{"-algo", "exact"}, 0, ""},
+		{"ok file", []string{"-algo", "exact", good}, 0, ""},
+		{"missing file", []string{"-algo", "exact", filepath.Join(dir, "nope.txt")}, 1, "no such file"},
+		{"one bad file of several", []string{"-algo", "exact", good, filepath.Join(dir, "nope.txt")}, 1, "no such file"},
+		{"bad spec", []string{"-spec", "wat:mbits=1"}, 1, "unknown sketch kind"},
+		{"underdimensioned spec", []string{"-spec", "sbitmap:n=1e6"}, 1, "exactly two of"},
+		{"bad keyed spec", []string{"-keyed", "-spec", "wat"}, 1, "unknown sketch kind"},
+		{"multi keyed spec", []string{"-keyed", "-spec", "exact;exact"}, 1, "single spec"},
+		{"bad algo", []string{"-algo", "wat"}, 1, "unknown algorithm"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 1, "flag provided but not defined"},
+		{"bad dimensioning", []string{"-n", "-5"}, 1, ""},
+	} {
+		var stdout, stderr bytes.Buffer
+		code := run(tc.args, strings.NewReader("x\ny\n"), &stdout, &stderr)
+		if code != tc.wantCode {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, code, tc.wantCode, stderr.String())
+			continue
+		}
+		if tc.wantCode == 0 && tc.wantErr == "" && stderr.Len() > 0 {
+			t.Errorf("%s: unexpected stderr: %s", tc.name, stderr.String())
+		}
+		if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.wantErr)
+		}
+	}
+}
+
+func TestRunCountsFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.txt")
+	f2 := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(f1, []byte("x\ny\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte("y\nz\nz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-algo", "exact", f1, f2}, strings.NewReader("ignored\n"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "5 lines read") || !strings.Contains(out, "estimate            3") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunKeyedFromFile(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "kv.txt")
+	if err := os.WriteFile(f, []byte("u1 a\nu1 b\nu2 a\nmalformed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-keyed", "-spec", "exact", "-top", "2", f}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "2 keys tracked") || !strings.Contains(out, "1 without 'key item' shape skipped") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "u1") {
+		t.Errorf("top keys missing u1:\n%s", out)
+	}
+}
+
+// errReader fails mid-stream, as a disappearing pipe would.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+func TestRunStreamError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-algo", "exact"}, errReader{err: errors.New("pipe exploded")}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "pipe exploded") {
+		t.Errorf("exit %d, stderr %q", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-keyed", "-spec", "exact"}, errReader{err: errors.New("pipe exploded")}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "pipe exploded") {
+		t.Errorf("keyed: exit %d, stderr %q", code, stderr.String())
 	}
 }

@@ -84,6 +84,14 @@ func main() {
 		return
 	}
 
+	if *run == "server" {
+		if err := runServer(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -95,6 +103,8 @@ func main() {
 			"per-sketch memory + construction benchmark (bytes and ns across the zoo; -json writes BENCH_memory.json)")
 		fmt.Printf("  %-16s %s\n", "keyed",
 			"keyed Store ingest benchmark (1M keys × per-key S-bitmaps; -json writes BENCH_keyed.json)")
+		fmt.Printf("  %-16s %s\n", "server",
+			"counting-service benchmark (loopback HTTP ingest: per-item vs NDJSON vs binary frame, query latency; -json writes BENCH_server.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

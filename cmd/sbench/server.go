@@ -1,0 +1,303 @@
+package main
+
+// The server pseudo-experiment measures the counting service end to end:
+// a real sketchd serving layer (internal/server over net/http) on
+// loopback, driven by the client library through its three ingest paths —
+// one NDJSON record per request (the naive producer), NDJSON batches, and
+// the compact binary frame (the deployment path, decoding straight onto
+// Store.AddBatch64) — plus query latency over /v1/estimate. The full-pass
+// modes push ≥1M keyed updates each, and the frame pass is verified
+// bit-identical against a local Store fed the same records, so the report
+// doubles as an end-to-end correctness check. `sbench -run server -json
+// BENCH_server.json` regenerates the repo's tracked BENCH_server.json
+// (absolute rates are machine-dependent; the frame-vs-NDJSON ratio and
+// the per-request floor of the per-item mode are the stable signal).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	sbitmap "repro"
+	"repro/internal/server"
+	"repro/internal/xrand"
+)
+
+const (
+	serverKeys     = 1 << 17 // 131072 keys
+	serverSpreadLo = 2       // per-key distinct items, uniform in [lo, hi]
+	serverSpreadHi = 10
+	serverDup      = 1.4 // records per distinct item
+	serverBatch    = 8192
+	serverSpec     = "sbitmap:n=1e4,eps=0.1" // per-key sketch (tiny, as deployed)
+
+	serverPerItemRecords = 20_000 // per-item mode: one HTTP request per record
+	serverQueries        = 2_000
+)
+
+type serverResult struct {
+	Mode          string  `json:"mode"` // "peritem", "ndjson", or "frame"
+	Records       int     `json:"records"`
+	Requests      int     `json:"requests"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+type serverReport struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Keys           int    `json:"keys"`
+		Records        int    `json:"records"`
+		BatchLen       int    `json:"batch_len"`
+		Spec           string `json:"spec"`
+		PerItemRecords int    `json:"peritem_records"`
+	} `json:"config"`
+	Results []serverResult `json:"results"`
+	Query   struct {
+		Count    int     `json:"count"`
+		MeanUs   float64 `json:"mean_us"`
+		P50Us    float64 `json:"p50_us"`
+		P99Us    float64 `json:"p99_us"`
+		PerSec   float64 `json:"queries_per_sec"`
+		TopK     int     `json:"topk_k"`
+		TopKUs   float64 `json:"topk_us"`
+		StatsUs  float64 `json:"stats_us"`
+		Checked  int     `json:"verified_keys"`
+		Verified bool    `json:"frame_bit_identical"`
+	} `json:"query"`
+	Store struct {
+		Keys           int `json:"keys"`
+		FootprintBytes int `json:"footprint_bytes"`
+	} `json:"store"`
+}
+
+// serverWorkload pre-generates the full record sequence: per-key spreads
+// like the keyed bench, shuffled flat (worst-case key locality, every
+// batch touches ~batch distinct keys).
+func serverWorkload(seed uint64) (keys []string, items []uint64, spreads []int) {
+	r := xrand.New(seed ^ 0x5e27e5)
+	spreads = make([]int, serverKeys)
+	names := make([]string, serverKeys)
+	total := 0
+	for k := range spreads {
+		spreads[k] = serverSpreadLo + r.Intn(serverSpreadHi-serverSpreadLo+1)
+		names[k] = fmt.Sprintf("user-%06x", k)
+		recs := int(float64(spreads[k])*serverDup + 0.5)
+		total += recs
+	}
+	keys = make([]string, 0, total)
+	items = make([]uint64, 0, total)
+	for k, spread := range spreads {
+		recs := int(float64(spread)*serverDup + 0.5)
+		for i := 0; i < recs; i++ {
+			keys = append(keys, names[k])
+			items = append(items, xrand.Mix64(uint64(k)<<16|uint64(i%spread)))
+		}
+	}
+	// Fisher–Yates over the records, keeping (key, item) pairs together.
+	for i := len(keys) - 1; i > 0; i-- {
+		j := int(r.Uint64() % uint64(i+1))
+		keys[i], keys[j] = keys[j], keys[i]
+		items[i], items[j] = items[j], items[i]
+	}
+	return keys, items, spreads
+}
+
+// startServer binds a fresh counting service to a loopback port.
+func startServer(spec sbitmap.Spec) (*server.Server, *http.Server, string, error) {
+	srv, err := server.New(server.Config{Spec: spec})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) // returns ErrServerClosed via hs.Close
+	return srv, hs, "http://" + ln.Addr().String(), nil
+}
+
+// runServer measures the counting service over loopback and prints a
+// table; jsonPath != "" additionally writes the machine-readable report.
+func runServer(jsonPath string, seed uint64) error {
+	spec, err := sbitmap.ParseSpec(serverSpec)
+	if err != nil {
+		return err
+	}
+	spec.Seed = seed
+	keys, items, _ := serverWorkload(seed)
+	ctx := context.Background()
+
+	report := serverReport{Schema: "sbitmap-server/v1"}
+	report.Config.Keys = serverKeys
+	report.Config.Records = len(items)
+	report.Config.BatchLen = serverBatch
+	report.Config.Spec = spec.String()
+	report.Config.PerItemRecords = serverPerItemRecords
+
+	fmt.Printf("counting service over loopback HTTP, %d keys, %d records, spec %s, batch=%d\n\n",
+		serverKeys, len(items), spec, serverBatch)
+	fmt.Printf("%-8s %10s %10s %9s %14s\n", "mode", "records", "requests", "seconds", "records/s")
+
+	itemStrs := make([]string, serverPerItemRecords)
+	for i := range itemStrs {
+		itemStrs[i] = fmt.Sprintf("%x", items[i])
+	}
+
+	var frameSrv *server.Server
+	var frameClient *server.Client
+	var frameHTTP *http.Server
+	defer func() {
+		if frameHTTP != nil {
+			frameHTTP.Close()
+		}
+	}()
+	for _, mode := range []string{"peritem", "ndjson", "frame"} {
+		srv, hs, base, err := startServer(spec)
+		if err != nil {
+			return err
+		}
+		client := server.NewClient(base)
+		n, reqs := 0, 0
+		start := time.Now()
+		switch mode {
+		case "peritem":
+			// One record per request: the per-message floor a naive
+			// producer pays (HTTP round trip + JSON decode per record).
+			for i := 0; i < serverPerItemRecords; i++ {
+				if _, err := client.AddNDJSON(ctx, keys[i:i+1], itemStrs[i:i+1]); err != nil {
+					return err
+				}
+			}
+			n, reqs = serverPerItemRecords, serverPerItemRecords
+		case "ndjson":
+			// Batched NDJSON: items rendered as hex strings (the format is
+			// text); hashing differs from the frame path, throughput is
+			// the comparison.
+			buf := make([]string, serverBatch)
+			for i := 0; i < len(keys); i += serverBatch {
+				end := min(i+serverBatch, len(keys))
+				strs := buf[:end-i]
+				for j := range strs {
+					strs[j] = fmt.Sprintf("%x", items[i+j])
+				}
+				if _, err := client.AddNDJSON(ctx, keys[i:end], strs); err != nil {
+					return err
+				}
+				reqs++
+			}
+			n = len(keys)
+		case "frame":
+			for i := 0; i < len(keys); i += serverBatch {
+				end := min(i+serverBatch, len(keys))
+				if _, err := client.AddBatch64(ctx, keys[i:end], items[i:end]); err != nil {
+					return err
+				}
+				reqs++
+			}
+			n = len(keys)
+		}
+		secs := time.Since(start).Seconds()
+		report.Results = append(report.Results, serverResult{
+			Mode: mode, Records: n, Requests: reqs, Seconds: secs,
+			RecordsPerSec: float64(n) / secs,
+		})
+		fmt.Printf("%-8s %10d %10d %9.2f %14.3e\n", mode, n, reqs, secs, float64(n)/secs)
+		if mode == "frame" {
+			frameSrv, frameClient, frameHTTP = srv, client, hs
+		} else {
+			hs.Close()
+		}
+	}
+
+	// Correctness: the frame pass must be bit-identical to a local Store
+	// fed the same records — the service adds transport, not estimation.
+	local, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(keys); i += serverBatch {
+		end := min(i+serverBatch, len(keys))
+		local.AddBatch64(keys[i:end], items[i:end])
+	}
+	identical := true
+	checked := 0
+	local.ForEach(func(key string, c sbitmap.Counter) bool {
+		got, ok := frameSrv.Store().Estimate(key)
+		if !ok || got != c.Estimate() {
+			identical = false
+			return false
+		}
+		checked++
+		return true
+	})
+	if !identical {
+		return fmt.Errorf("server: frame-ingested estimates differ from a local store")
+	}
+	report.Query.Checked = checked
+	report.Query.Verified = identical
+
+	// Query latency over the served store (all keys live).
+	lat := make([]float64, serverQueries)
+	r := xrand.New(seed ^ 0x9e77)
+	qStart := time.Now()
+	for i := range lat {
+		key := fmt.Sprintf("user-%06x", r.Intn(serverKeys))
+		t0 := time.Now()
+		if _, ok, err := frameClient.Estimate(ctx, key); err != nil || !ok {
+			return fmt.Errorf("server: query %s: ok=%v err=%v", key, ok, err)
+		}
+		lat[i] = float64(time.Since(t0).Microseconds())
+	}
+	qSecs := time.Since(qStart).Seconds()
+	sort.Float64s(lat)
+	mean := 0.0
+	for _, v := range lat {
+		mean += v
+	}
+	mean /= float64(len(lat))
+	report.Query.Count = serverQueries
+	report.Query.MeanUs = mean
+	report.Query.P50Us = lat[len(lat)/2]
+	report.Query.P99Us = lat[len(lat)*99/100]
+	report.Query.PerSec = float64(serverQueries) / qSecs
+
+	const topK = 10
+	t0 := time.Now()
+	if _, err := frameClient.TopK(ctx, topK); err != nil {
+		return err
+	}
+	report.Query.TopK = topK
+	report.Query.TopKUs = float64(time.Since(t0).Microseconds())
+	t0 = time.Now()
+	stats, err := frameClient.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	report.Query.StatsUs = float64(time.Since(t0).Microseconds())
+	report.Store.Keys = stats.Keys
+	report.Store.FootprintBytes = stats.FootprintBytes
+
+	fmt.Printf("\nqueries: %d estimates, mean %.0f µs, p50 %.0f µs, p99 %.0f µs (%.3e/s); topk(%d) %.0f µs, stats %.0f µs\n",
+		serverQueries, mean, report.Query.P50Us, report.Query.P99Us, report.Query.PerSec, topK, report.Query.TopKUs, report.Query.StatsUs)
+	fmt.Printf("store: %d keys, %d bytes resident; frame ingest bit-identical to local store over %d keys\n",
+		stats.Keys, stats.FootprintBytes, checked)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(json: %s)\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Command sketchd serves a keyed Store over HTTP — the module's network
+// counting service. One Spec dimensions every per-key counter; producers
+// POST batched records (NDJSON or the compact binary frame), consumers
+// query estimates, top-k, and live stats, and peers ship whole-store
+// snapshots for key-wise merge.
+//
+// Usage:
+//
+//	sketchd -spec "sbitmap:n=1e6,eps=0.01" -addr :8287
+//	sketchd -spec "hll:mbits=4096" -checkpoint /var/lib/sketchd/ckpt.bin \
+//	        -checkpoint-interval 30s -maxkeys 2000000
+//
+// With -checkpoint, the store is restored from the named snapshot on
+// start (if present) and written back atomically on the interval, on
+// POST /v1/checkpoint, and on SIGTERM/SIGINT — so a restarted server
+// resumes counting with the estimates it went down with.
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/add         NDJSON {"key":...,"item":...} lines, or a binary
+//	                     add frame (Content-Type application/x-sbitmap-frame)
+//	GET  /v1/estimate    ?key=K
+//	GET  /v1/topk        ?k=N
+//	GET  /v1/stats       totals + live metrics
+//	POST /v1/merge       Store snapshot envelope from a peer
+//	POST /v1/checkpoint  write a durable snapshot now
+//	GET  /healthz        liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	sbitmap "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// config is the parsed flag set; split from serving so flag/spec errors
+// are testable without binding a socket.
+type config struct {
+	addr     string
+	server   server.Config
+	interval time.Duration
+}
+
+// parseFlags resolves the CLI vocabulary into a server.Config.
+func parseFlags(args []string, stderr *os.File) (config, error) {
+	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
+	if stderr != nil {
+		fs.SetOutput(stderr)
+	}
+	var (
+		specStr  = fs.String("spec", "sbitmap:n=1e6,eps=0.01", "per-key sketch spec (sbitmap.ParseSpec vocabulary)")
+		addr     = fs.String("addr", "127.0.0.1:8287", "listen address (host:port; :0 picks a free port)")
+		ckPath   = fs.String("checkpoint", "", "checkpoint file: restored on start, written periodically and on shutdown")
+		interval = fs.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables the timer; needs -checkpoint)")
+		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
+		stripes  = fs.Int("stripes", 0, "store lock-stripe count (0 = library default)")
+		maxBody  = fs.Int64("max-body", 0, "request body limit in bytes (0 = 32 MiB default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	spec, err := sbitmap.ParseSpec(*specStr)
+	if err != nil {
+		return config{}, err
+	}
+	if *interval < 0 {
+		return config{}, fmt.Errorf("-checkpoint-interval %v is negative", *interval)
+	}
+	return config{
+		addr: *addr,
+		server: server.Config{
+			Spec:           spec,
+			MaxKeys:        *maxKeys,
+			Stripes:        *stripes,
+			CheckpointPath: *ckPath,
+			MaxBodyBytes:   *maxBody,
+		},
+		interval: *interval,
+	}, nil
+}
+
+func run(args []string, stderr *os.File) int {
+	logger := log.New(stderr, "sketchd: ", log.LstdFlags)
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		logger.Printf("%v", err)
+		return 1
+	}
+	srv, err := server.New(cfg.server)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 1
+	}
+	logger.Printf("serving spec %s on http://%s", cfg.server.Spec, ln.Addr())
+	if n := srv.RestoredKeys(); n > 0 {
+		logger.Printf("restored %d keys from checkpoint %s", n, cfg.server.CheckpointPath)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints, serialized against the shutdown checkpoint by
+	// the server itself; one failed write is logged, not fatal (the next
+	// tick retries, and the previous checkpoint is still intact).
+	if cfg.server.CheckpointPath != "" && cfg.interval > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if info, err := srv.Checkpoint(); err != nil {
+						logger.Printf("periodic checkpoint: %v", err)
+					} else {
+						logger.Printf("checkpoint: %d keys, %d bytes in %.0f ms",
+							info.Keys, info.Bytes, info.Seconds*1e3)
+					}
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	logger.Printf("shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if cfg.server.CheckpointPath != "" {
+		info, err := srv.Checkpoint()
+		if err != nil {
+			logger.Printf("final checkpoint: %v", err)
+			return 1
+		}
+		logger.Printf("final checkpoint: %d keys, %d bytes -> %s", info.Keys, info.Bytes, info.Path)
+	}
+	return 0
+}

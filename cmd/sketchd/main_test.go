@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-spec", "hll:mbits=4096,seed=7", "-addr", "127.0.0.1:0",
+		"-checkpoint", "/tmp/ck.bin", "-checkpoint-interval", "5s",
+		"-maxkeys", "100", "-stripes", "8", "-max-body", "1024",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Spec.String() != "hll:mbits=4096,seed=7" {
+		t.Errorf("spec = %s", cfg.server.Spec)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.server.CheckpointPath != "/tmp/ck.bin" ||
+		cfg.interval.Seconds() != 5 || cfg.server.MaxKeys != 100 ||
+		cfg.server.Stripes != 8 || cfg.server.MaxBodyBytes != 1024 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad spec", []string{"-spec", "nope:mbits=1"}, "unknown sketch kind"},
+		{"underdimensioned spec", []string{"-spec", "sbitmap:n=1e6"}, ""},
+		{"negative interval", []string{"-checkpoint-interval", "-1s"}, "negative"},
+		{"positional args", []string{"extra"}, "unexpected arguments"},
+	} {
+		cfg, err := parseFlags(tc.args, nil)
+		if tc.name == "underdimensioned spec" {
+			// The spec parses (dimensioning is checked at construction);
+			// server.New must reject it instead.
+			if err != nil {
+				t.Fatalf("%s: parseFlags: %v", tc.name, err)
+			}
+			if _, err := server.New(cfg.server); err == nil {
+				t.Errorf("%s: server.New accepted it", tc.name)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

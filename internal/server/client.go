@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is the Go face of the counting service: thin typed wrappers over
+// the HTTP API, one method per endpoint, mirroring the Store's own method
+// names where the semantics match. It is safe for concurrent use (the
+// underlying http.Client pools connections).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// doubles); the default is a plain &http.Client{}.
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// NewClient returns a client for the service at base, e.g.
+// "http://127.0.0.1:8287".
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil). Any non-2xx response is returned as an *APIError carrying the
+// service's typed code.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		apiErr := &APIError{Status: resp.StatusCode, Code: CodeBadRequest}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Code != "" {
+			apiErr.Code, apiErr.Message = eb.Error.Code, eb.Error.Message
+		} else {
+			apiErr.Message = strings.TrimSpace(string(raw))
+		}
+		return apiErr
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) // drain so the connection can be reused
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// AddNDJSON ingests (keys[i], items[i]) records through the NDJSON ingest
+// format — the debuggable path (curl-able, line-oriented). Panics if the
+// slice lengths differ.
+func (c *Client) AddNDJSON(ctx context.Context, keys, items []string) (AddResult, error) {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("server: Client.AddNDJSON with %d keys and %d items", len(keys), len(items)))
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range keys {
+		if err := enc.Encode(ndjsonRecord{Key: keys[i], Item: items[i]}); err != nil {
+			return AddResult{}, err
+		}
+	}
+	var res AddResult
+	err := c.do(ctx, http.MethodPost, "/v1/add", "application/x-ndjson", buf.Bytes(), &res)
+	return res, err
+}
+
+// AddBatch64 ingests (keys[i], items[i]) records with uint64 items
+// through the compact binary frame — the throughput path, decoding
+// straight onto Store.AddBatch64 on the server. Panics if the slice
+// lengths differ.
+func (c *Client) AddBatch64(ctx context.Context, keys []string, items []uint64) (AddResult, error) {
+	var res AddResult
+	err := c.do(ctx, http.MethodPost, "/v1/add", FrameContentType, AppendFrame64(nil, keys, items), &res)
+	return res, err
+}
+
+// AddBatchString ingests (keys[i], items[i]) records with string items
+// through the compact binary frame. Panics if the slice lengths differ.
+func (c *Client) AddBatchString(ctx context.Context, keys, items []string) (AddResult, error) {
+	var res AddResult
+	err := c.do(ctx, http.MethodPost, "/v1/add", FrameContentType, AppendFrameString(nil, keys, items), &res)
+	return res, err
+}
+
+// Estimate returns key's distinct-count estimate; ok is false (with a nil
+// error) if the server has never seen the key — mirroring Store.Estimate.
+func (c *Client) Estimate(ctx context.Context, key string) (estimate float64, ok bool, err error) {
+	var res EstimateResult
+	err = c.do(ctx, http.MethodGet, "/v1/estimate?key="+url.QueryEscape(key), "", nil, &res)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Code == CodeUnknownKey {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Estimate, true, nil
+}
+
+// TopK returns the server's k keys with the largest estimates, in
+// descending order.
+func (c *Client) TopK(ctx context.Context, k int) ([]Entry, error) {
+	var res TopKResult
+	err := c.do(ctx, http.MethodGet, "/v1/topk?k="+strconv.Itoa(k), "", nil, &res)
+	return res.Top, err
+}
+
+// Stats returns store totals and live service metrics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var res Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &res)
+	return res, err
+}
+
+// Merge ships a Store snapshot envelope (Store.MarshalBinary bytes from a
+// peer or edge agent) for key-wise union merge into the server's store.
+func (c *Client) Merge(ctx context.Context, snapshot []byte) (MergeResult, error) {
+	var res MergeResult
+	err := c.do(ctx, http.MethodPost, "/v1/merge", "application/octet-stream", snapshot, &res)
+	return res, err
+}
+
+// Checkpoint asks the server to write a durable snapshot now.
+func (c *Client) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
+	var res CheckpointInfo
+	err := c.do(ctx, http.MethodPost, "/v1/checkpoint", "", nil, &res)
+	return res, err
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The add frame is the compact binary ingest format of the counting
+// service: a batch of (key, item) records that decodes into exactly the
+// slice pair Store.AddBatch64 / Store.AddBatchString consume, so one
+// frame costs the server one batched hash pass and one lock per touched
+// stripe — the same fast path a local caller gets. An exporter or edge
+// agent accumulates records, encodes one frame, and POSTs it to /v1/add.
+//
+// Layout (little-endian):
+//
+//	[0:4]   magic "SBF1"
+//	[4]     format version (currently 1)
+//	[5]     item type: 1 = uint64 items, 2 = string items
+//	[6:10]  record count (uint32)
+//	per record:
+//	        uvarint key length, key bytes
+//	        item: 8-byte uint64 (type 1) | uvarint length + bytes (type 2)
+//
+// Uvarint key/item lengths keep the common case (short flow keys) at one
+// length byte per field — the "compact" in compact frame.
+
+// FrameContentType is the Content-Type under which /v1/add expects a
+// binary add frame. Any other Content-Type is read as NDJSON.
+const FrameContentType = "application/x-sbitmap-frame"
+
+// frameMagic tags add frames ("SBF1" read as a little-endian uint32).
+const frameMagic = uint32(0x31464253)
+
+// frameVersion is the current frame format version.
+const frameVersion = 1
+
+// Frame item types.
+const (
+	frameItems64     = 1
+	frameItemsString = 2
+)
+
+// frameMaxKeyLen bounds a single key; longer keys are a protocol error
+// (and would be a poor idea in a per-key map anyway).
+const frameMaxKeyLen = 1 << 16
+
+// Frame is a decoded add frame: Keys paired with exactly one of Items64
+// or ItemsString (the other is nil), mirroring the two keyed batch
+// entrypoints of the Store.
+type Frame struct {
+	Keys        []string
+	Items64     []uint64
+	ItemsString []string
+}
+
+// Records returns the number of records in the frame.
+func (f *Frame) Records() int { return len(f.Keys) }
+
+func appendFrameHeader(dst []byte, itemType byte, n int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, frameMagic)
+	dst = append(dst, frameVersion, itemType)
+	return binary.LittleEndian.AppendUint32(dst, uint32(n))
+}
+
+// AppendFrame64 appends the frame encoding of (keys[i], items[i]) records
+// with uint64 items to dst and returns the extended slice. It panics if
+// the slice lengths differ (caller bug, as in Store.AddBatch64).
+func AppendFrame64(dst []byte, keys []string, items []uint64) []byte {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("server: AppendFrame64 with %d keys and %d items", len(keys), len(items)))
+	}
+	dst = appendFrameHeader(dst, frameItems64, len(keys))
+	for i, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.LittleEndian.AppendUint64(dst, items[i])
+	}
+	return dst
+}
+
+// AppendFrameString appends the frame encoding of (keys[i], items[i])
+// records with string items to dst and returns the extended slice. It
+// panics if the slice lengths differ.
+func AppendFrameString(dst []byte, keys, items []string) []byte {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("server: AppendFrameString with %d keys and %d items", len(keys), len(items)))
+	}
+	dst = appendFrameHeader(dst, frameItemsString, len(keys))
+	for i, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.AppendUvarint(dst, uint64(len(items[i])))
+		dst = append(dst, items[i]...)
+	}
+	return dst
+}
+
+// frameUvarint decodes one uvarint length field bounded by max.
+func frameUvarint(data []byte, what string, max int) (int, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("server: truncated frame: %s length", what)
+	}
+	if v > uint64(max) {
+		return 0, nil, fmt.Errorf("server: frame %s length %d exceeds %d", what, v, max)
+	}
+	return int(v), data[n:], nil
+}
+
+// DecodeFrame parses an add frame. Keys must be non-empty (the same
+// contract the NDJSON ingest path enforces); items may be anything. Keys
+// and string items are copied out of data, so the caller may reuse its
+// buffer once DecodeFrame returns.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < 10 {
+		return nil, fmt.Errorf("server: truncated frame: header needs 10 bytes, have %d", len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != frameMagic {
+		return nil, fmt.Errorf("server: bad frame magic (not an add frame)")
+	}
+	if v := data[4]; v != frameVersion {
+		return nil, fmt.Errorf("server: unsupported frame version %d (this build reads version %d)", v, frameVersion)
+	}
+	itemType := data[5]
+	if itemType != frameItems64 && itemType != frameItemsString {
+		return nil, fmt.Errorf("server: unknown frame item type %d", itemType)
+	}
+	count := int(binary.LittleEndian.Uint32(data[6:]))
+	rest := data[10:]
+	// Every record costs at least one key-length byte plus its item (8
+	// bytes for uint64 items, one length byte for string items); a count
+	// that cannot fit is rejected before any allocation sized by it.
+	minRec := 2
+	if itemType == frameItems64 {
+		minRec = 9
+	}
+	if count*minRec > len(rest) {
+		return nil, fmt.Errorf("server: truncated frame: %d records declared, %d bytes of payload", count, len(rest))
+	}
+	f := &Frame{Keys: make([]string, count)}
+	if itemType == frameItems64 {
+		f.Items64 = make([]uint64, count)
+	} else {
+		f.ItemsString = make([]string, count)
+	}
+	var err error
+	var klen int
+	for i := 0; i < count; i++ {
+		if klen, rest, err = frameUvarint(rest, "key", frameMaxKeyLen); err != nil {
+			return nil, fmt.Errorf("%w (record %d)", err, i)
+		}
+		if klen == 0 {
+			// Same contract as the NDJSON ingest path: a record with no
+			// key is malformed, not a record for the empty-string key
+			// (which /v1/estimate could never query back).
+			return nil, fmt.Errorf("server: frame record %d has an empty key", i)
+		}
+		if klen > len(rest) {
+			return nil, fmt.Errorf("server: truncated frame: record %d key", i)
+		}
+		f.Keys[i] = string(rest[:klen])
+		rest = rest[klen:]
+		if itemType == frameItems64 {
+			if len(rest) < 8 {
+				return nil, fmt.Errorf("server: truncated frame: record %d item", i)
+			}
+			f.Items64[i] = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+		} else {
+			var ilen int
+			if ilen, rest, err = frameUvarint(rest, "item", len(rest)); err != nil {
+				return nil, fmt.Errorf("%w (record %d)", err, i)
+			}
+			if ilen > len(rest) {
+				return nil, fmt.Errorf("server: truncated frame: record %d item", i)
+			}
+			f.ItemsString[i] = string(rest[:ilen])
+			rest = rest[ilen:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes after last frame record", len(rest))
+	}
+	return f, nil
+}

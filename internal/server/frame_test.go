@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip64(t *testing.T) {
+	keys := []string{"alice", "amy", "bob", strings.Repeat("k", 300), "alice"}
+	items := []uint64{1, 2, 3, 1 << 60, 0}
+	f, err := DecodeFrame(AppendFrame64(nil, keys, items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != len(keys) || f.ItemsString != nil {
+		t.Fatalf("decoded %d records, strings %v", f.Records(), f.ItemsString)
+	}
+	for i := range keys {
+		if f.Keys[i] != keys[i] || f.Items64[i] != items[i] {
+			t.Errorf("record %d: (%q, %d) != (%q, %d)", i, f.Keys[i], f.Items64[i], keys[i], items[i])
+		}
+	}
+}
+
+func TestFrameRoundTripString(t *testing.T) {
+	keys := []string{"k1", "k2", "k1"}
+	items := []string{"", "item-two", strings.Repeat("x", 5000)}
+	f, err := DecodeFrame(AppendFrameString(nil, keys, items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != len(keys) || f.Items64 != nil {
+		t.Fatalf("decoded %d records, items64 %v", f.Records(), f.Items64)
+	}
+	for i := range keys {
+		if f.Keys[i] != keys[i] || f.ItemsString[i] != items[i] {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripEmpty(t *testing.T) {
+	f, err := DecodeFrame(AppendFrame64(nil, nil, nil))
+	if err != nil || f.Records() != 0 {
+		t.Fatalf("empty frame: %v, %d records", err, f.Records())
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := AppendFrame64(nil, []string{"k1", "k2"}, []uint64{1, 2})
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte{}, good...)
+		return mutate(b)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  good[:9],
+		"bad magic":     corrupt(func(b []byte) []byte { b[0] ^= 0xff; return b }),
+		"bad version":   corrupt(func(b []byte) []byte { b[4] = 9; return b }),
+		"bad item type": corrupt(func(b []byte) []byte { b[5] = 7; return b }),
+		"count too big": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[6:], 1<<30)
+			return b
+		}),
+		"truncated record": good[:len(good)-3],
+		"trailing bytes":   append(append([]byte{}, good...), 0xAB),
+		"empty key":        AppendFrame64(nil, []string{"ok", ""}, []uint64{1, 2}),
+		"huge key length": corrupt(func(b []byte) []byte {
+			// Overwrite the first record's key length with a uvarint far
+			// above frameMaxKeyLen.
+			rest := binary.AppendUvarint(b[:10], 1<<40)
+			return append(rest, good[11:]...)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A string-item frame truncated inside an item length.
+	sf := AppendFrameString(nil, []string{"key"}, []string{"item"})
+	for cut := 10; cut < len(sf); cut++ {
+		if _, err := DecodeFrame(sf[:cut]); err == nil {
+			t.Errorf("string frame cut to %d accepted", cut)
+		}
+	}
+}
+
+func TestFrameLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	AppendFrame64(nil, []string{"k"}, nil)
+}

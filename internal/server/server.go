@@ -1,0 +1,559 @@
+// Package server is the counting-service face of the module: it exposes a
+// keyed Store[string] over HTTP, turning the library the paper's online
+// monitoring setting assumes into a process a remote producer can feed and
+// a remote consumer can query.
+//
+// The API surface (all JSON unless noted):
+//
+//	POST /v1/add         ingest a batch: NDJSON {"key":...,"item":...}
+//	                     lines, or a compact binary add frame
+//	                     (Content-Type application/x-sbitmap-frame) that
+//	                     decodes straight onto the Store's keyed batch path
+//	GET  /v1/estimate    ?key=K — one key's distinct-count estimate
+//	GET  /v1/topk        ?k=N — heavy hitters by estimate
+//	GET  /v1/stats       store totals, spec, and live ingest/query metrics
+//	POST /v1/merge       body is a Store snapshot envelope from a peer or
+//	                     edge agent; key-wise union merge (Mergeable kinds)
+//	POST /v1/checkpoint  write a durable snapshot now
+//	GET  /healthz        liveness probe
+//
+// Errors are typed: every 4xx/5xx body is {"error":{"code":...,
+// "message":...}} with a stable machine-readable code.
+//
+// Durability is checkpoint-based: Config.CheckpointPath names an atomic
+// (tmp+rename) snapshot of the whole store written on demand, on a timer
+// (cmd/sketchd), and on SIGTERM; New restores it on start, so a restarted
+// server resumes counting with the estimates it went down with.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"mime"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sbitmap "repro"
+)
+
+// DefaultMaxBodyBytes bounds /v1/add and /v1/merge request bodies when
+// Config.MaxBodyBytes is zero: 32 MiB, a few hundred thousand records per
+// frame, far above any sensible batch.
+const DefaultMaxBodyBytes = 32 << 20
+
+// Config dimensions a Server. Spec is required; everything else defaults.
+type Config struct {
+	// Spec dimensions every per-key counter (see sbitmap.Spec).
+	Spec sbitmap.Spec
+	// MaxKeys bounds live keys via the Store's eviction policy; 0 means
+	// unbounded.
+	MaxKeys int
+	// Stripes overrides the Store's lock-stripe count; 0 means default.
+	Stripes int
+	// CheckpointPath, when non-empty, enables durable snapshots: restored
+	// on New, written by Checkpoint (and cmd/sketchd's timer/SIGTERM
+	// hooks) via an atomic tmp+rename.
+	CheckpointPath string
+	// MaxBodyBytes bounds ingest/merge request bodies; 0 means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server serves one keyed Store over HTTP. It implements http.Handler;
+// compose it into an http.Server (cmd/sketchd) or an httptest.Server.
+type Server struct {
+	cfg   Config
+	store *sbitmap.Store[string]
+	mux   *http.ServeMux
+	start time.Time
+
+	// ckMu serializes checkpoint writes (the store itself stays live).
+	ckMu         sync.Mutex
+	restoredKeys int
+
+	// Live metrics, reported by /v1/stats.
+	addRequests    atomic.Int64
+	recordsTotal   atomic.Int64
+	changedTotal   atomic.Int64
+	queryRequests  atomic.Int64
+	mergeRequests  atomic.Int64
+	mergedKeys     atomic.Int64
+	checkpoints    atomic.Int64
+	lastCkUnixNano atomic.Int64
+	lastCkBytes    atomic.Int64
+	lastCkNanos    atomic.Int64
+}
+
+// New builds a Server: validates the spec, restores the checkpoint when
+// CheckpointPath names an existing snapshot (whose embedded spec must
+// match cfg.Spec), and wires the routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("server: max body %d < 0", cfg.MaxBodyBytes)
+	}
+	if cfg.Stripes < 0 {
+		return nil, fmt.Errorf("server: stripe count %d < 0", cfg.Stripes)
+	}
+	if cfg.MaxKeys < 0 {
+		return nil, fmt.Errorf("server: key limit %d < 0", cfg.MaxKeys)
+	}
+	var opts []sbitmap.StoreOption
+	if cfg.Stripes > 0 {
+		opts = append(opts, sbitmap.WithStripes(cfg.Stripes))
+	}
+	if cfg.MaxKeys > 0 {
+		opts = append(opts, sbitmap.WithMaxKeys(cfg.MaxKeys))
+	}
+	s := &Server{cfg: cfg, start: time.Now()}
+	if cfg.CheckpointPath != "" {
+		st, n, err := restoreCheckpoint(cfg.CheckpointPath, cfg.Spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.restoredKeys = st, n
+	}
+	if s.store == nil {
+		st, err := sbitmap.NewStore[string](cfg.Spec, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = st
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
+	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Store returns the underlying keyed store — for in-process composition
+// (benchmarks, embedding the service next to local ingest).
+func (s *Server) Store() *sbitmap.Store[string] { return s.store }
+
+// RestoredKeys reports how many keys the start-time checkpoint restore
+// brought back (0 when starting fresh).
+func (s *Server) RestoredKeys() int { return s.restoredKeys }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Error codes carried by the typed error payload. Stable: clients switch
+// on these, not on messages.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeBadNDJSON       = "bad_ndjson"
+	CodeBadFrame        = "bad_frame"
+	CodeBadSnapshot     = "bad_snapshot"
+	CodeMissingKey      = "missing_key"
+	CodeUnknownKey      = "unknown_key"
+	CodeTooLarge        = "payload_too_large"
+	CodeSpecMismatch    = "spec_mismatch"
+	CodeNotMergeable    = "not_mergeable"
+	CodeNoCheckpoint    = "no_checkpoint_path"
+	CodeCheckpointWrite = "checkpoint_write"
+)
+
+// errorBody is the wire form of every non-2xx response.
+type errorBody struct {
+	Error APIError `json:"error"`
+}
+
+// APIError is the typed error payload of the service; the client library
+// returns it (with the HTTP status attached) for any non-2xx response.
+type APIError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// AddResult reports one /v1/add call: records ingested and how many
+// changed counter state (the Store's changed count).
+type AddResult struct {
+	Records int `json:"records"`
+	Changed int `json:"changed"`
+}
+
+// EstimateResult is the /v1/estimate response.
+type EstimateResult struct {
+	Key      string  `json:"key"`
+	Estimate float64 `json:"estimate"`
+}
+
+// Entry is one /v1/topk ranking entry.
+type Entry struct {
+	Key      string  `json:"key"`
+	Estimate float64 `json:"estimate"`
+}
+
+// TopKResult is the /v1/topk response.
+type TopKResult struct {
+	Top []Entry `json:"top"`
+}
+
+// MergeResult reports one /v1/merge call.
+type MergeResult struct {
+	// KeysMerged is the peer snapshot's key count (every one united into
+	// this store).
+	KeysMerged int `json:"keys_merged"`
+}
+
+// CheckpointInfo reports one durable snapshot write.
+type CheckpointInfo struct {
+	Path    string  `json:"path"`
+	Bytes   int     `json:"bytes"`
+	Keys    int     `json:"keys"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Stats is the /v1/stats response: store totals plus live service
+// counters. All counters are monotone since process start.
+type Stats struct {
+	Spec           string  `json:"spec"`
+	Keys           int     `json:"keys"`
+	SizeBits       int     `json:"size_bits"`
+	FootprintBytes int     `json:"footprint_bytes"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	RestoredKeys   int     `json:"restored_keys"`
+
+	AddRequests  int64 `json:"add_requests"`
+	Records      int64 `json:"records"`
+	Changed      int64 `json:"changed"`
+	Queries      int64 `json:"queries"`
+	MergeCalls   int64 `json:"merge_calls"`
+	MergedKeys   int64 `json:"merged_keys"`
+	Checkpoints  int64 `json:"checkpoints"`
+	LastCkUnix   int64 `json:"last_checkpoint_unix,omitempty"`
+	LastCkBytes  int64 `json:"last_checkpoint_bytes,omitempty"`
+	LastCkMillis int64 `json:"last_checkpoint_millis,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // headers are flushed; an encode error has nowhere to go
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: APIError{
+		Status:  status,
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// bodyReadError maps a request-body read failure onto its typed response:
+// the MaxBytesReader limit is the client's fault (413), anything else is
+// a plain bad request (the connection died mid-body, or the chunking was
+// malformed).
+func bodyReadError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			"request body exceeds %d bytes", maxErr.Limit)
+		return
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		writeError(w, http.StatusBadRequest, CodeBadNDJSON,
+			"NDJSON line exceeds %d bytes", ndjsonMaxLine)
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeBadRequest, "reading request body: %v", err)
+}
+
+// ndjsonMaxLine bounds one NDJSON record line.
+const ndjsonMaxLine = 1 << 20
+
+// ndjsonRecord is one NDJSON ingest line.
+type ndjsonRecord struct {
+	Key  string `json:"key"`
+	Item string `json:"item"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	s.addRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	// Read the whole body before parsing either format: a too-large body
+	// must report 413, not a parse error on the line or record the limit
+	// truncated.
+	data, err := io.ReadAll(body)
+	if err != nil {
+		bodyReadError(w, err)
+		return
+	}
+	// Proxies may append parameters or re-case the media type; dispatch on
+	// the parsed base type, not the raw header.
+	mediaType := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
+		mediaType = mt
+	}
+	var res AddResult
+	if mediaType == FrameContentType {
+		f, err := DecodeFrame(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadFrame, "%v", err)
+			return
+		}
+		res.Records = f.Records()
+		if f.Items64 != nil {
+			res.Changed = s.store.AddBatch64(f.Keys, f.Items64)
+		} else {
+			res.Changed = s.store.AddBatchString(f.Keys, f.ItemsString)
+		}
+	} else {
+		var keys, items []string
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 64*1024), ndjsonMaxLine)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := bytes.TrimSpace(sc.Bytes())
+			if len(raw) == 0 {
+				continue
+			}
+			var rec ndjsonRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				writeError(w, http.StatusBadRequest, CodeBadNDJSON, "line %d: %v", line, err)
+				return
+			}
+			if rec.Key == "" {
+				writeError(w, http.StatusBadRequest, CodeBadNDJSON, "line %d: missing key", line)
+				return
+			}
+			keys = append(keys, rec.Key)
+			items = append(items, rec.Item)
+		}
+		if err := sc.Err(); err != nil {
+			bodyReadError(w, err)
+			return
+		}
+		res.Records = len(keys)
+		res.Changed = s.store.AddBatchString(keys, items)
+	}
+	s.recordsTotal.Add(int64(res.Records))
+	s.changedTotal.Add(int64(res.Changed))
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.queryRequests.Add(1)
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, CodeMissingKey, "estimate needs a ?key= parameter")
+		return
+	}
+	est, ok := s.store.Estimate(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownKey, "key %q has never been seen (or was evicted)", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResult{Key: key, Estimate: est})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.queryRequests.Add(1)
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "k=%q is not a positive integer", raw)
+			return
+		}
+		k = v
+	}
+	// TopK pre-allocates a k-sized heap; clamp to the live key count so a
+	// huge ?k= cannot allocate unboundedly.
+	if n := s.store.Len(); k > n {
+		k = n
+	}
+	ranked := s.store.TopK(k)
+	res := TopKResult{Top: make([]Entry, len(ranked))}
+	for i, ke := range ranked {
+		res.Top[i] = Entry{Key: ke.Key, Estimate: ke.Estimate}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{
+		Spec:           s.store.Spec().String(),
+		Keys:           s.store.Len(),
+		SizeBits:       s.store.SizeBits(),
+		FootprintBytes: s.store.Footprint(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		RestoredKeys:   s.restoredKeys,
+		AddRequests:    s.addRequests.Load(),
+		Records:        s.recordsTotal.Load(),
+		Changed:        s.changedTotal.Load(),
+		Queries:        s.queryRequests.Load(),
+		MergeCalls:     s.mergeRequests.Load(),
+		MergedKeys:     s.mergedKeys.Load(),
+		Checkpoints:    s.checkpoints.Load(),
+		LastCkBytes:    s.lastCkBytes.Load(),
+		LastCkMillis:   s.lastCkNanos.Load() / int64(time.Millisecond),
+	}
+	if ns := s.lastCkUnixNano.Load(); ns != 0 {
+		st.LastCkUnix = ns / int64(time.Second)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	s.mergeRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		bodyReadError(w, err)
+		return
+	}
+	peer, err := sbitmap.UnmarshalStore[string](data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadSnapshot, "%v", err)
+		return
+	}
+	if peer.Spec() != s.store.Spec() {
+		writeError(w, http.StatusConflict, CodeSpecMismatch,
+			"peer snapshot spec %s differs from this store's %s", peer.Spec(), s.store.Spec())
+		return
+	}
+	if err := s.store.Merge(peer); err != nil {
+		if errors.Is(err, sbitmap.ErrNotMergeable) {
+			writeError(w, http.StatusUnprocessableEntity, CodeNotMergeable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusConflict, CodeSpecMismatch, "%v", err)
+		return
+	}
+	s.mergedKeys.Add(int64(peer.Len()))
+	writeJSON(w, http.StatusOK, MergeResult{KeysMerged: peer.Len()})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Checkpoint()
+	if err != nil {
+		if errors.Is(err, ErrNoCheckpointPath) {
+			writeError(w, http.StatusConflict, CodeNoCheckpoint,
+				"server was started without a checkpoint path")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeCheckpointWrite, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// ErrNoCheckpointPath reports a Checkpoint call on a server configured
+// without Config.CheckpointPath.
+var ErrNoCheckpointPath = errors.New("server: no checkpoint path configured")
+
+// Checkpoint writes a durable snapshot of the whole store to
+// Config.CheckpointPath atomically (write to a sibling .tmp file, fsync,
+// rename), so a reader never observes a torn file and a crash mid-write
+// leaves the previous checkpoint intact. The store stays live: stripes
+// are encoded under their own locks (see Store.MarshalBinary), ingest in
+// other stripes proceeds concurrently. Writes are serialized; safe for
+// concurrent use.
+func (s *Server) Checkpoint() (CheckpointInfo, error) {
+	if s.cfg.CheckpointPath == "" {
+		return CheckpointInfo{}, ErrNoCheckpointPath
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	start := time.Now()
+	blob, err := s.store.MarshalBinary()
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("server: checkpoint encode: %w", err)
+	}
+	if err := writeFileAtomic(s.cfg.CheckpointPath, blob); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("server: checkpoint write: %w", err)
+	}
+	elapsed := time.Since(start)
+	s.checkpoints.Add(1)
+	s.lastCkUnixNano.Store(start.UnixNano())
+	s.lastCkBytes.Store(int64(len(blob)))
+	s.lastCkNanos.Store(int64(elapsed))
+	return CheckpointInfo{
+		Path:    s.cfg.CheckpointPath,
+		Bytes:   len(blob),
+		Keys:    s.store.Len(),
+		Seconds: elapsed.Seconds(),
+	}, nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temporary file
+// and rename, fsyncing before the rename so a crash cannot publish a
+// partially written checkpoint.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// restoreCheckpoint loads a checkpoint written by Checkpoint. A missing
+// file is not an error (first start); a present file must decode and its
+// embedded spec must equal the configured one — silently counting under
+// a different dimensioning than the checkpoint would corrupt estimates.
+func restoreCheckpoint(path string, spec sbitmap.Spec, opts []sbitmap.StoreOption) (*sbitmap.Store[string], int, error) {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: reading checkpoint: %w", err)
+	}
+	st, err := sbitmap.UnmarshalStore[string](blob, opts...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: checkpoint %s: %w", path, err)
+	}
+	if st.Spec() != spec {
+		return nil, 0, fmt.Errorf("server: checkpoint %s holds spec %s, but the server is configured with %s (move the checkpoint aside to start fresh, or fix -spec)",
+			path, st.Spec(), spec)
+	}
+	return st, st.Len(), nil
+}

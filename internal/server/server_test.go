@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	sbitmap "repro"
+)
+
+// newTestServer starts an httptest server around a fresh Server and
+// returns it with a client.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, NewClient(ts.URL)
+}
+
+func TestNewBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"empty spec":     {},
+		"bad sbitmap":    {Spec: sbitmap.Spec{Kind: sbitmap.KindSBitmap, N: 1e6}},
+		"unknown kind":   {Spec: sbitmap.Spec{Kind: "nope"}},
+		"negative body":  {Spec: sbitmap.MustSpec("hll:mbits=512"), MaxBodyBytes: -1},
+		"bad stripes":    {Spec: sbitmap.MustSpec("hll:mbits=512"), Stripes: -1},
+		"negative limit": {Spec: sbitmap.MustSpec("hll:mbits=512"), MaxKeys: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// apiErrorOf performs one raw request and decodes the typed error payload.
+func apiErrorOf(t *testing.T, ts *httptest.Server, method, path, contentType string, body []byte) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	if resp.StatusCode/100 != 2 {
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			// Non-JSON error bodies (e.g. the mux's 405) report no code.
+			return resp.StatusCode, ""
+		}
+	}
+	return resp.StatusCode, eb.Error.Code
+}
+
+func TestHandlerErrorTable(t *testing.T) {
+	_, ts, client := newTestServer(t, Config{
+		Spec:         sbitmap.MustSpec("hll:mbits=512"),
+		MaxBodyBytes: 4096,
+	})
+	// One known key so unknown-key is distinguishable from empty store.
+	if _, err := client.AddNDJSON(context.Background(), []string{"known"}, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+
+	otherSpec, err := sbitmap.NewStore[string](sbitmap.MustSpec("hll:mbits=1024"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBlob, err := otherSpec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name        string
+		method      string
+		path        string
+		contentType string
+		body        []byte
+		wantStatus  int
+		wantCode    string
+	}{
+		{"malformed ndjson", "POST", "/v1/add", "application/x-ndjson",
+			[]byte("{\"key\":\"a\",\"item\":\"b\"}\nnot json\n"), 400, CodeBadNDJSON},
+		{"ndjson missing key", "POST", "/v1/add", "application/x-ndjson",
+			[]byte("{\"item\":\"b\"}\n"), 400, CodeBadNDJSON},
+		{"ndjson item not string", "POST", "/v1/add", "application/x-ndjson",
+			[]byte("{\"key\":\"a\",\"item\":7}\n"), 400, CodeBadNDJSON},
+		{"malformed frame", "POST", "/v1/add", FrameContentType,
+			[]byte("SBF1 garbage that is not a frame"), 400, CodeBadFrame},
+		{"truncated frame", "POST", "/v1/add", FrameContentType,
+			AppendFrame64(nil, []string{"k"}, []uint64{1})[:12], 400, CodeBadFrame},
+		{"oversized ndjson", "POST", "/v1/add", "application/x-ndjson",
+			bytes.Repeat([]byte("{\"key\":\"a\",\"item\":\"b\"}\n"), 300), 413, CodeTooLarge},
+		{"oversized frame", "POST", "/v1/add", FrameContentType,
+			AppendFrame64(nil, make([]string, 600), make([]uint64, 600)), 413, CodeTooLarge},
+		{"frame with empty key", "POST", "/v1/add", FrameContentType + "; charset=binary",
+			AppendFrame64(nil, []string{""}, []uint64{1}), 400, CodeBadFrame},
+		{"estimate without key", "GET", "/v1/estimate", "", nil, 400, CodeMissingKey},
+		{"estimate unknown key", "GET", "/v1/estimate?key=never-seen", "", nil, 404, CodeUnknownKey},
+		{"topk bad k", "GET", "/v1/topk?k=zero", "", nil, 400, CodeBadRequest},
+		{"topk negative k", "GET", "/v1/topk?k=-3", "", nil, 400, CodeBadRequest},
+		{"merge not a snapshot", "POST", "/v1/merge", "application/octet-stream",
+			[]byte("junk"), 400, CodeBadSnapshot},
+		{"merge counter snapshot", "POST", "/v1/merge", "application/octet-stream",
+			mustCounterBlob(t), 400, CodeBadSnapshot},
+		{"merge spec mismatch", "POST", "/v1/merge", "application/octet-stream",
+			otherBlob, 409, CodeSpecMismatch},
+		{"checkpoint without path", "POST", "/v1/checkpoint", "", nil, 409, CodeNoCheckpoint},
+		{"method not allowed", "DELETE", "/v1/add", "", nil, 405, ""},
+		{"unknown route", "GET", "/v1/nope", "", nil, 404, ""},
+	} {
+		status, code := apiErrorOf(t, ts, tc.method, tc.path, tc.contentType, tc.body)
+		if status != tc.wantStatus || code != tc.wantCode {
+			t.Errorf("%s: got %d %q, want %d %q", tc.name, status, code, tc.wantStatus, tc.wantCode)
+		}
+	}
+}
+
+func mustCounterBlob(t *testing.T) []byte {
+	t.Helper()
+	c, err := sbitmap.MustSpec("hll:mbits=512").New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sbitmap.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestMergeNotMergeable(t *testing.T) {
+	// S-bitmaps cannot union-merge; the endpoint must say so, typed.
+	spec := sbitmap.MustSpec("sbitmap:n=1e4,eps=0.1")
+	_, ts, _ := newTestServer(t, Config{Spec: spec})
+	peer, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.AddString("k", "item")
+	blob, err := peer.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, code := apiErrorOf(t, ts, "POST", "/v1/merge", "application/octet-stream", blob)
+	if status != 422 || code != CodeNotMergeable {
+		t.Fatalf("got %d %q, want 422 %q", status, code, CodeNotMergeable)
+	}
+}
+
+func TestIngestQueryFlow(t *testing.T) {
+	spec := sbitmap.MustSpec("hll:mbits=2048,seed=9")
+	srv, _, client := newTestServer(t, Config{Spec: spec})
+	ctx := context.Background()
+
+	// Local twin fed identically: service estimates must be bit-identical.
+	local, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	var items64 []uint64
+	for k := 0; k < 20; k++ {
+		for i := 0; i <= k; i++ {
+			keys = append(keys, fmt.Sprintf("key-%02d", k))
+			items64 = append(items64, uint64(k)<<32|uint64(i))
+		}
+	}
+	res, err := client.AddBatch64(ctx, keys, items64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != len(keys) {
+		t.Fatalf("AddBatch64 reported %d records, sent %d", res.Records, len(keys))
+	}
+	local.AddBatch64(keys, items64)
+
+	// NDJSON and string-frame paths land on the same counters.
+	sKeys := []string{"key-00", "key-19"}
+	sItems := []string{"extra-a", "extra-b"}
+	if _, err := client.AddNDJSON(ctx, sKeys, sItems); err != nil {
+		t.Fatal(err)
+	}
+	local.AddBatchString(sKeys, sItems)
+	if _, err := client.AddBatchString(ctx, sKeys, []string{"extra-c", "extra-d"}); err != nil {
+		t.Fatal(err)
+	}
+	local.AddBatchString(sKeys, []string{"extra-c", "extra-d"})
+
+	for k := 0; k < 20; k++ {
+		key := fmt.Sprintf("key-%02d", k)
+		got, ok, err := client.Estimate(ctx, key)
+		if err != nil || !ok {
+			t.Fatalf("%s: %v ok=%v", key, err, ok)
+		}
+		want, _ := local.Estimate(key)
+		if got != want {
+			t.Errorf("%s: service %v != local %v", key, got, want)
+		}
+	}
+	if _, ok, err := client.Estimate(ctx, "never"); err != nil || ok {
+		t.Fatalf("unknown key: ok=%v err=%v", ok, err)
+	}
+
+	// A huge k is clamped to the live key count, never allocated.
+	all, err := client.TopK(ctx, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != srv.Store().Len() {
+		t.Errorf("topk(1<<30) returned %d entries, store holds %d", len(all), srv.Store().Len())
+	}
+
+	top, err := client.TopK(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTop := local.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("topk returned %d entries", len(top))
+	}
+	for i := range top {
+		if top[i].Key != localTop[i].Key || top[i].Estimate != localTop[i].Estimate {
+			t.Errorf("topk[%d]: service %+v != local %+v", i, top[i], localTop[i])
+		}
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := int64(len(keys) + 2*len(sKeys))
+	if stats.Keys != srv.Store().Len() || stats.Records != wantRecords ||
+		stats.AddRequests != 3 || stats.Spec != spec.String() ||
+		stats.SizeBits <= 0 || stats.FootprintBytes <= 0 || stats.Queries == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	if err := client.Healthz(ctx); err != nil {
+		t.Errorf("healthz: %v", err)
+	}
+}
+
+func TestMergeFlow(t *testing.T) {
+	spec := sbitmap.MustSpec("hll:mbits=1024,seed=3")
+	_, _, client := newTestServer(t, Config{Spec: spec})
+	ctx := context.Background()
+
+	if _, err := client.AddNDJSON(ctx, []string{"shared", "mine"}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An edge agent's store: overlapping and new keys.
+	edge, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge.AddString("shared", "a") // duplicate item: union must not double count
+	edge.AddString("shared", "c")
+	edge.AddString("theirs", "d")
+	blob, err := edge.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Merge(ctx, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeysMerged != 2 {
+		t.Errorf("merged %d keys, want 2", res.KeysMerged)
+	}
+
+	// The union twin: everything both sides saw, through one store.
+	twin, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin.AddString("shared", "a")
+	twin.AddString("mine", "b")
+	twin.AddString("shared", "a")
+	twin.AddString("shared", "c")
+	twin.AddString("theirs", "d")
+	for _, key := range []string{"shared", "mine", "theirs"} {
+		got, ok, err := client.Estimate(ctx, key)
+		if err != nil || !ok {
+			t.Fatalf("%s: %v", key, err)
+		}
+		want, _ := twin.Estimate(key)
+		if got != want {
+			t.Errorf("%s: merged estimate %v != union twin %v", key, got, want)
+		}
+	}
+}
+
+func TestCheckpointRecovery(t *testing.T) {
+	// Checkpoint, "crash" (drop the server), restart from the file:
+	// estimates must be bit-identical, and counting must continue.
+	dir := t.TempDir()
+	cfg := Config{
+		Spec:           sbitmap.MustSpec("sbitmap:n=1e4,eps=0.05,seed=11"),
+		CheckpointPath: filepath.Join(dir, "ckpt.bin"),
+	}
+	srv, _, client := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	var keys, items []string
+	for k := 0; k < 50; k++ {
+		for i := 0; i <= k%7; i++ {
+			keys = append(keys, fmt.Sprintf("flow-%03d", k))
+			items = append(items, fmt.Sprintf("pkt-%d-%d", k, i))
+		}
+	}
+	if _, err := client.AddBatchString(ctx, keys, items); err != nil {
+		t.Fatal(err)
+	}
+	info, err := client.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Keys != 50 || info.Bytes <= 0 {
+		t.Fatalf("checkpoint info %+v", info)
+	}
+	before := map[string]float64{}
+	srv.Store().ForEach(func(key string, c sbitmap.Counter) bool {
+		before[key] = c.Estimate()
+		return true
+	})
+
+	// "Restart": a brand-new server over the same config.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.RestoredKeys() != 50 {
+		t.Fatalf("restored %d keys, want 50", srv2.RestoredKeys())
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	client2 := NewClient(ts2.URL)
+	for key, want := range before {
+		got, ok, err := client2.Estimate(ctx, key)
+		if err != nil || !ok {
+			t.Fatalf("%s after restart: %v", key, err)
+		}
+		if got != want {
+			t.Errorf("%s: estimate %v after restart, was %v", key, got, want)
+		}
+	}
+	// The restored store keeps counting (same seed restored via spec).
+	if _, err := client2.AddNDJSON(ctx, []string{"flow-000"}, []string{"fresh-item"}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client2.Stats(ctx)
+	if err != nil || stats.RestoredKeys != 50 {
+		t.Fatalf("stats after restart: %+v, %v", stats, err)
+	}
+}
+
+func TestCheckpointSpecMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	cfg := Config{Spec: sbitmap.MustSpec("hll:mbits=512"), CheckpointPath: path}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Store().AddString("k", "v")
+	if _, err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Spec = sbitmap.MustSpec("hll:mbits=1024")
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "spec") {
+		t.Fatalf("restart under a different spec: %v", err)
+	}
+	// A corrupt checkpoint must refuse to start, not count from scratch.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Spec = sbitmap.MustSpec("hll:mbits=512")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointAtomicTmp(t *testing.T) {
+	// The tmp file never survives a successful write.
+	dir := t.TempDir()
+	cfg := Config{
+		Spec:           sbitmap.MustSpec("hll:mbits=512"),
+		CheckpointPath: filepath.Join(dir, "ck.bin"),
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Store().AddString("k", "v")
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(cfg.CheckpointPath + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("tmp file left behind: %v", err)
+	}
+	if err := srv.Store().Merge(srv.Store()); err != nil {
+		// Self-merge is a no-op; just exercising the API surface here.
+		t.Errorf("self merge: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the counting service: start sketchd, ingest over
+# both ingest formats, query, kill -TERM (which writes the final
+# checkpoint), restart from the checkpoint, and verify the estimates
+# survived bit-for-bit. Run from the repo root; CI runs this after
+# building cmd/sketchd.
+#
+#   ./scripts/smoke_sketchd.sh [path-to-sketchd-binary]
+set -euo pipefail
+
+BIN=${1:-./sketchd}
+ADDR=127.0.0.1:18287
+BASE=http://$ADDR
+DIR=$(mktemp -d)
+PID=""
+cleanup() {
+  if [ -n "$PID" ]; then
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true # let the final checkpoint finish
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: server on $ADDR never became healthy" >&2
+  exit 1
+}
+
+start() {
+  "$BIN" -addr "$ADDR" -spec "hll:mbits=4096,seed=7" \
+    -checkpoint "$DIR/ckpt.bin" -checkpoint-interval 0 &
+  PID=$!
+  wait_healthy
+}
+
+echo "smoke: starting sketchd"
+start
+
+echo "smoke: ingesting 500 NDJSON records for key alice"
+seq 1 500 | awk '{printf "{\"key\":\"alice\",\"item\":\"url-%d\"}\n", $1}' |
+  curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$BASE/v1/add" >/dev/null
+
+echo "smoke: ingesting a binary frame via the client (go run)"
+go run ./scripts/smokeclient -base "$BASE" -key bob -items 250
+
+EST_ALICE=$(curl -fsS "$BASE/v1/estimate?key=alice")
+EST_BOB=$(curl -fsS "$BASE/v1/estimate?key=bob")
+echo "smoke: alice=$EST_ALICE bob=$EST_BOB"
+
+TOPK=$(curl -fsS "$BASE/v1/topk?k=2")
+case "$TOPK" in
+  *alice*bob*) ;;
+  *) echo "smoke: unexpected topk: $TOPK" >&2; exit 1 ;;
+esac
+
+STATS=$(curl -fsS "$BASE/v1/stats")
+case "$STATS" in
+  *'"keys":2'*) ;;
+  *) echo "smoke: unexpected stats: $STATS" >&2; exit 1 ;;
+esac
+
+# A malformed body must come back as a typed 4xx, not a 200 or a crash.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' --data-binary 'not json' \
+  -H 'Content-Type: application/x-ndjson' "$BASE/v1/add")
+[ "$CODE" = 400 ] || { echo "smoke: malformed NDJSON returned $CODE, want 400" >&2; exit 1; }
+
+echo "smoke: SIGTERM (writes the final checkpoint) and restart"
+kill -TERM "$PID"
+wait "$PID" || { echo "smoke: sketchd exited non-zero on SIGTERM" >&2; exit 1; }
+PID=""
+[ -s "$DIR/ckpt.bin" ] || { echo "smoke: no checkpoint written" >&2; exit 1; }
+start
+
+EST_ALICE2=$(curl -fsS "$BASE/v1/estimate?key=alice")
+EST_BOB2=$(curl -fsS "$BASE/v1/estimate?key=bob")
+[ "$EST_ALICE" = "$EST_ALICE2" ] || { echo "smoke: alice changed across restart: $EST_ALICE vs $EST_ALICE2" >&2; exit 1; }
+[ "$EST_BOB" = "$EST_BOB2" ] || { echo "smoke: bob changed across restart: $EST_BOB vs $EST_BOB2" >&2; exit 1; }
+
+echo "smoke: counting continues after restore"
+printf '{"key":"alice","item":"brand-new-url"}\n' |
+  curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$BASE/v1/add" >/dev/null
+
+echo "smoke ok: estimates survived restart ($EST_ALICE / $EST_BOB)"

@@ -750,9 +750,16 @@ func storeKeyCode[K StoreKey]() byte {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler: the whole store —
-// spec and every (key, counter) pair — in one framed container. Stripes
-// are locked one at a time; marshal at a quiescent point for a consistent
-// snapshot.
+// spec and every (key, counter) pair — in one framed container.
+//
+// Safe under concurrent writers: each stripe is encoded while holding its
+// lock, so every per-key counter blob is internally consistent (never a
+// torn read of sketch state) and the snapshot always decodes. Stripes are
+// locked one at a time, so the snapshot as a whole is a per-stripe
+// point-in-time view: a key ingested concurrently in a not-yet-visited
+// stripe may be included, one in an already-visited stripe will not.
+// Marshal at a quiescent point for a globally consistent cut (the
+// checkpointing server does exactly this per stripe, live).
 func (s *Store[K]) MarshalBinary() ([]byte, error) {
 	spec := s.spec.String()
 	if len(spec) > 0xffff {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/xrand"
 )
@@ -606,4 +607,112 @@ func TestStoreNamedKeyTypes(t *testing.T) {
 	if est, ok := back.Estimate(FlowID(9)); !ok || est != 1 {
 		t.Fatalf("restored estimate %v ok=%v", est, ok)
 	}
+}
+
+func TestStoreSnapshotUnderConcurrentWriters(t *testing.T) {
+	// Satellite acceptance: MarshalBinary taken WHILE mixed per-item and
+	// batch writers (and readers) are running must always produce a
+	// decodable snapshot whose per-key counters are internally consistent
+	// — every blob restores, and every restored estimate is one a
+	// quiescent counter could report. Run under -race to also prove the
+	// stripe-locked encode never reads sketch state torn by a writer.
+	st, err := NewStore[uint64](MustSpec("hll:mbits=256"), WithStripes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		recs    = 4000
+		nKeys   = 97
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys, items := keyedWorkload(nKeys, recs, uint64(w+1))
+			for i := 0; i < len(keys); {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w%2 == 0 {
+					end := min(i+137, len(keys))
+					st.AddBatch64(keys[i:end], items[i:end])
+					i = end
+				} else {
+					st.AddUint64(keys[i], items[i])
+					i++
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.Estimate(xrand.Mix64(3))
+			st.Len()
+		}
+	}()
+
+	// Snapshot continuously under load; every snapshot must decode fully.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		blob, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatalf("snapshot %d under load: %v", snaps, err)
+		}
+		back, err := UnmarshalStore[uint64](blob)
+		if err != nil {
+			t.Fatalf("snapshot %d does not decode: %v", snaps, err)
+		}
+		bad := 0
+		back.ForEach(func(key uint64, c Counter) bool {
+			if est := c.Estimate(); est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+				bad++
+			}
+			return true
+		})
+		if bad > 0 {
+			t.Fatalf("snapshot %d: %d restored counters with nonsensical estimates", snaps, bad)
+		}
+		snaps++
+	}
+	close(stop)
+	wg.Wait()
+	rg.Wait()
+	if snaps == 0 {
+		t.Fatal("took no snapshots")
+	}
+
+	// Quiescent now: a final snapshot must round-trip to equal estimates.
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalStore[uint64](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != st.Len() {
+		t.Fatalf("restored %d keys, live store has %d", back.Len(), st.Len())
+	}
+	st.ForEach(func(key uint64, c Counter) bool {
+		got, ok := back.Estimate(key)
+		if !ok || got != c.Estimate() {
+			t.Errorf("key %d: restored %v ok=%v, live %v", key, got, ok, c.Estimate())
+			return false
+		}
+		return true
+	})
 }
