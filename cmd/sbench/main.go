@@ -92,6 +92,14 @@ func main() {
 		return
 	}
 
+	if *run == "cluster" {
+		if err := runCluster(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -105,6 +113,8 @@ func main() {
 			"keyed Store ingest benchmark (1M keys × per-key S-bitmaps; -json writes BENCH_keyed.json)")
 		fmt.Printf("  %-16s %s\n", "server",
 			"counting-service benchmark (loopback HTTP ingest: per-item vs NDJSON vs binary frame, query latency; -json writes BENCH_server.json)")
+		fmt.Printf("  %-16s %s\n", "cluster",
+			"cluster-mode benchmark (3-node loopback ring: partitioned frame ingest vs single node, scatter-gather query latency; -json writes BENCH_cluster.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

@@ -15,6 +15,18 @@
 // POST /v1/checkpoint, and on SIGTERM/SIGINT — so a restarted server
 // resumes counting with the estimates it went down with.
 //
+// Cluster mode (see internal/cluster): N sketchd processes become one
+// logical service. Start every node with the same -spec (seed included)
+// and the same -peers list; clients (cluster.Client, sbench -run
+// cluster) partition ingest by consistent-hash key owner and
+// scatter-gather queries. An edge node additionally pushes its whole
+// store into a central aggregator on a timer:
+//
+//	sketchd -addr :8287 -spec "sbitmap:n=1e4,eps=0.1,seed=7" \
+//	        -peers http://n1:8287,http://n2:8287,http://n3:8287
+//	sketchd -role edge -aggregator http://agg:8287 -push-interval 30s ...
+//	sketchd -role aggregator -addr :8287 ...
+//
 // Endpoints (see internal/server):
 //
 //	POST /v1/add         NDJSON {"key":...,"item":...} lines, or a binary
@@ -24,7 +36,9 @@
 //	GET  /v1/stats       totals + live metrics
 //	POST /v1/merge       Store snapshot envelope from a peer
 //	POST /v1/checkpoint  write a durable snapshot now
-//	GET  /healthz        liveness
+//	GET  /v1/healthz     liveness + spec + role + uptime (JSON)
+//	GET  /v1/cluster     this node's topology (role, peers, aggregator)
+//	GET  /healthz        plain-text liveness
 package main
 
 import (
@@ -37,10 +51,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	sbitmap "repro"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -51,9 +67,10 @@ func main() {
 // config is the parsed flag set; split from serving so flag/spec errors
 // are testable without binding a socket.
 type config struct {
-	addr     string
-	server   server.Config
-	interval time.Duration
+	addr         string
+	server       server.Config
+	interval     time.Duration
+	pushInterval time.Duration
 }
 
 // parseFlags resolves the CLI vocabulary into a server.Config.
@@ -70,6 +87,10 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
 		stripes  = fs.Int("stripes", 0, "store lock-stripe count (0 = library default)")
 		maxBody  = fs.Int64("max-body", 0, "request body limit in bytes (0 = 32 MiB default)")
+		role     = fs.String("role", "", "cluster role: standalone (default), edge, or aggregator")
+		peers    = fs.String("peers", "", "comma-separated base URLs of the cluster's partition peers (same list on every node and client)")
+		aggrURL  = fs.String("aggregator", "", "aggregator base URL an edge node pushes snapshots to (requires -role edge)")
+		pushIntv = fs.Duration("push-interval", 30*time.Second, "edge snapshot-push interval (requires -role edge)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -84,6 +105,38 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 	if *interval < 0 {
 		return config{}, fmt.Errorf("-checkpoint-interval %v is negative", *interval)
 	}
+	switch *role {
+	case "", server.RoleStandalone, server.RoleAggregator:
+		if *aggrURL != "" {
+			return config{}, fmt.Errorf("-aggregator needs -role edge (only edge nodes push snapshots)")
+		}
+	case server.RoleEdge:
+		if *aggrURL == "" {
+			return config{}, fmt.Errorf("-role edge needs -aggregator (where to push snapshots)")
+		}
+		if *pushIntv <= 0 {
+			return config{}, fmt.Errorf("-push-interval %v must be positive", *pushIntv)
+		}
+	default:
+		return config{}, fmt.Errorf("-role %q: want %s, %s, or %s",
+			*role, server.RoleStandalone, server.RoleEdge, server.RoleAggregator)
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 {
+		// Fail on duplicate/empty peers now, not at first client routing.
+		if _, err := cluster.NewRing(peerList, 0); err != nil {
+			return config{}, fmt.Errorf("-peers: %w", err)
+		}
+	}
+	clusterInfo := server.ClusterInfo{Role: *role, Peers: peerList, Aggregator: *aggrURL}
+	if *role == server.RoleEdge {
+		clusterInfo.PushIntervalSeconds = pushIntv.Seconds()
+	}
 	return config{
 		addr: *addr,
 		server: server.Config{
@@ -92,8 +145,10 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 			Stripes:        *stripes,
 			CheckpointPath: *ckPath,
 			MaxBodyBytes:   *maxBody,
+			Cluster:        clusterInfo,
 		},
-		interval: *interval,
+		interval:     *interval,
+		pushInterval: *pushIntv,
 	}, nil
 }
 
@@ -149,6 +204,21 @@ func run(args []string, stderr *os.File) int {
 		}()
 	}
 
+	// Edge role: push whole-store snapshots into the aggregator on a
+	// timer. A down aggregator costs log lines, never counting; the next
+	// successful push heals the gap (snapshots are cumulative unions).
+	var pusher *cluster.Pusher
+	if cfg.server.Cluster.Role == server.RoleEdge {
+		pusher = &cluster.Pusher{
+			Source:   srv.Store().MarshalBinary,
+			Target:   server.NewClient(cfg.server.Cluster.Aggregator, server.WithRetry(2, 500*time.Millisecond)),
+			Interval: cfg.pushInterval,
+			Logf:     logger.Printf,
+		}
+		go pusher.Run(ctx)
+		logger.Printf("edge role: pushing snapshots to %s every %v", cfg.server.Cluster.Aggregator, cfg.pushInterval)
+	}
+
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -166,6 +236,15 @@ func run(args []string, stderr *os.File) int {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
+	}
+	if pusher != nil {
+		// Ship what we counted since the last tick; a failure is logged
+		// (the aggregator may be down too), not fatal.
+		if res, err := pusher.PushOnce(shCtx); err != nil {
+			logger.Printf("final snapshot push: %v", err)
+		} else {
+			logger.Printf("final snapshot push: %d keys -> %s", res.KeysMerged, cfg.server.Cluster.Aggregator)
+		}
 	}
 	if cfg.server.CheckpointPath != "" {
 		info, err := srv.Checkpoint()

@@ -26,6 +26,32 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFlagsCluster(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-spec", "hll:mbits=4096,seed=7", "-role", "edge",
+		"-peers", "http://n1:8287, http://n2:8287,", // spaces and a trailing comma must not matter
+		"-aggregator", "http://agg:8287", "-push-interval", "15s",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cfg.server.Cluster
+	if cl.Role != server.RoleEdge || cl.Aggregator != "http://agg:8287" ||
+		len(cl.Peers) != 2 || cl.Peers[0] != "http://n1:8287" || cl.Peers[1] != "http://n2:8287" ||
+		cl.PushIntervalSeconds != 15 || cfg.pushInterval.Seconds() != 15 {
+		t.Errorf("cluster config = %+v (pushInterval %v)", cl, cfg.pushInterval)
+	}
+
+	// Aggregator role: peers allowed, no push config.
+	cfg, err = parseFlags([]string{"-role", "aggregator", "-peers", "http://n1:8287"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Cluster.Role != server.RoleAggregator || cfg.server.Cluster.PushIntervalSeconds != 0 {
+		t.Errorf("cluster config = %+v", cfg.server.Cluster)
+	}
+}
+
 func TestParseFlagsErrors(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -36,6 +62,11 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"underdimensioned spec", []string{"-spec", "sbitmap:n=1e6"}, ""},
 		{"negative interval", []string{"-checkpoint-interval", "-1s"}, "negative"},
 		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"unknown role", []string{"-role", "router"}, "-role"},
+		{"edge without aggregator", []string{"-role", "edge"}, "-aggregator"},
+		{"edge with zero push interval", []string{"-role", "edge", "-aggregator", "http://agg:8287", "-push-interval", "0s"}, "push-interval"},
+		{"aggregator flag without edge role", []string{"-aggregator", "http://agg:8287"}, "-role edge"},
+		{"duplicate peers", []string{"-peers", "http://n1:8287,http://n1:8287"}, "duplicate peer"},
 	} {
 		cfg, err := parseFlags(tc.args, nil)
 		if tc.name == "underdimensioned spec" {

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Default per-peer retry policy: a dead TCP connection or a mid-restart
+// peer gets two more tries before the cluster client declares the peer
+// unreachable and degrades the response.
+const (
+	DefaultRetries   = 2
+	DefaultRetryBase = 100 * time.Millisecond
+)
+
+// Client is the cluster-aware face of the counting service: one logical
+// Store spread over a ring of sketchd peers. Ingest partitions by key
+// owner, point reads route to the owner, and aggregate reads
+// scatter-gather. Safe for concurrent use.
+type Client struct {
+	ring  *Ring
+	peers []*server.Client
+}
+
+type options struct {
+	vnodes    int
+	hc        *http.Client
+	retries   int
+	retryBase time.Duration
+}
+
+// Option configures a cluster Client.
+type Option func(*options)
+
+// WithVirtualNodes overrides the ring's per-peer virtual-node count.
+func WithVirtualNodes(n int) Option { return func(o *options) { o.vnodes = n } }
+
+// WithHTTPClient substitutes the transport shared by every per-peer
+// client (timeouts, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(o *options) { o.hc = hc } }
+
+// WithRetry overrides the per-peer retry policy (see server.WithRetry);
+// WithRetry(0, 0) disables retries.
+func WithRetry(retries int, base time.Duration) Option {
+	return func(o *options) { o.retries, o.retryBase = retries, base }
+}
+
+// New builds a cluster client over the given peer base URLs — the
+// cluster's partition set, the same list every node was started with.
+func New(peers []string, opts ...Option) (*Client, error) {
+	o := options{retries: DefaultRetries, retryBase: DefaultRetryBase}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ring, err := NewRing(peers, o.vnodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{ring: ring, peers: make([]*server.Client, len(peers))}
+	for i, p := range peers {
+		copts := []server.ClientOption{server.WithRetry(o.retries, o.retryBase)}
+		if o.hc != nil {
+			copts = append(copts, server.WithHTTPClient(o.hc))
+		}
+		c.peers[i] = server.NewClient(p, copts...)
+	}
+	return c, nil
+}
+
+// Ring returns the placement ring (for inspection and tests).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owner returns the base URL of the peer owning key.
+func (c *Client) Owner(key string) string { return c.ring.OwnerPeer(key) }
+
+// PeerError reports a failure talking to one peer; Unwrap exposes the
+// underlying transport or API error.
+type PeerError struct {
+	Peer string
+	Err  error
+}
+
+func (e *PeerError) Error() string { return fmt.Sprintf("cluster: peer %s: %v", e.Peer, e.Err) }
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Degraded marks a scatter-gather response assembled without every peer:
+// Partial is true and Unreachable lists the peers whose answers are
+// missing. A degraded response is an answer, not an error — the caller
+// decides whether partial coverage is acceptable.
+type Degraded struct {
+	Partial     bool     `json:"partial"`
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// degrade records one unreachable peer.
+func (d *Degraded) degrade(peer string) {
+	d.Partial = true
+	d.Unreachable = append(d.Unreachable, peer)
+}
+
+// AddResult aggregates a partitioned ingest: Records/Changed sum over
+// the peers that accepted their sub-frame; Dropped counts the records
+// whose owner was unreachable (after retries) and which therefore were
+// NOT ingested anywhere — partitioned placement means no other node may
+// take them without breaking single-owner semantics.
+type AddResult struct {
+	server.AddResult
+	Dropped int `json:"dropped,omitempty"`
+	Degraded
+}
+
+// TopKResult is a scatter-gathered ranking.
+type TopKResult struct {
+	Top []server.Entry `json:"top"`
+	Degraded
+}
+
+// PeerStats pairs one peer's /v1/stats answer with its base URL.
+type PeerStats struct {
+	Peer string `json:"peer"`
+	server.Stats
+}
+
+// StatsResult aggregates /v1/stats over the ring: cluster-wide totals
+// plus each reachable peer's own numbers.
+type StatsResult struct {
+	Keys           int   `json:"keys"`
+	SizeBits       int   `json:"size_bits"`
+	FootprintBytes int   `json:"footprint_bytes"`
+	Records        int64 `json:"records"`
+	Changed        int64 `json:"changed"`
+	Peers          []PeerStats
+	Degraded
+}
+
+// PeerHealth is one peer's probe outcome.
+type PeerHealth struct {
+	Peer string `json:"peer"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+	server.HealthResult
+}
+
+// scatter runs fn once per peer concurrently and waits for all of them.
+func (c *Client) scatter(fn func(i int, pc *server.Client)) {
+	var wg sync.WaitGroup
+	for i, pc := range c.peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i, pc)
+		}()
+	}
+	wg.Wait()
+}
+
+// unreachable reports whether a per-peer failure means "peer down"
+// (degrade the response) as opposed to "request wrong" (propagate). A
+// typed APIError is an answer from a live peer; anything else — refused
+// connection, reset, timeout — is unreachability.
+func unreachable(err error) bool {
+	var apiErr *server.APIError
+	return !errors.As(err, &apiErr)
+}
+
+// addSubBatch is the shared routing core of the two ingest entrypoints:
+// gather(idx) must send the records at idx to the peer client.
+func (c *Client) addSubBatch(keys []string, send func(pc *server.Client, idx []int) (server.AddResult, error)) (AddResult, error) {
+	parts := c.ring.Partition(keys)
+	var (
+		mu  sync.Mutex
+		res AddResult
+		hce error
+	)
+	c.scatter(func(i int, pc *server.Client) {
+		idx := parts[i]
+		if len(idx) == 0 {
+			return
+		}
+		r, err := send(pc, idx)
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			res.Records += r.Records
+			res.Changed += r.Changed
+			return
+		}
+		if unreachable(err) {
+			res.Dropped += len(idx)
+			res.degrade(c.ring.peers[i])
+			return
+		}
+		if hce == nil {
+			hce = &PeerError{Peer: c.ring.peers[i], Err: err}
+		}
+	})
+	if hce != nil {
+		return AddResult{}, hce
+	}
+	sort.Strings(res.Unreachable)
+	return res, nil
+}
+
+// AddBatch64 partitions (keys[i], items[i]) records by ring owner and
+// ships each peer its sub-frame concurrently. Peers that stay
+// unreachable after retries degrade the result (Dropped, Partial,
+// Unreachable) rather than failing the whole batch; an API-level error
+// from any peer fails the call.
+func (c *Client) AddBatch64(ctx context.Context, keys []string, items []uint64) (AddResult, error) {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("cluster: AddBatch64 with %d keys and %d items", len(keys), len(items)))
+	}
+	return c.addSubBatch(keys, func(pc *server.Client, idx []int) (server.AddResult, error) {
+		subKeys := make([]string, len(idx))
+		subItems := make([]uint64, len(idx))
+		for j, ix := range idx {
+			subKeys[j], subItems[j] = keys[ix], items[ix]
+		}
+		return pc.AddBatch64(ctx, subKeys, subItems)
+	})
+}
+
+// AddBatchString is AddBatch64 for string items.
+func (c *Client) AddBatchString(ctx context.Context, keys, items []string) (AddResult, error) {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("cluster: AddBatchString with %d keys and %d items", len(keys), len(items)))
+	}
+	return c.addSubBatch(keys, func(pc *server.Client, idx []int) (server.AddResult, error) {
+		subKeys := make([]string, len(idx))
+		subItems := make([]string, len(idx))
+		for j, ix := range idx {
+			subKeys[j], subItems[j] = keys[ix], items[ix]
+		}
+		return pc.AddBatchString(ctx, subKeys, subItems)
+	})
+}
+
+// Estimate routes the point read to the key's owner — partitioned
+// placement means exactly one peer can know the key, so there is nothing
+// to scatter. ok mirrors the single-node client (false, nil error for a
+// never-seen key); an unreachable owner is a *PeerError (a point read
+// has no partial answer to degrade to).
+func (c *Client) Estimate(ctx context.Context, key string) (estimate float64, ok bool, err error) {
+	owner := c.ring.Owner(key)
+	estimate, ok, err = c.peers[owner].Estimate(ctx, key)
+	if err != nil && unreachable(err) {
+		err = &PeerError{Peer: c.ring.peers[owner], Err: err}
+	}
+	return estimate, ok, err
+}
+
+// TopK scatter-gathers each peer's top k and k-way merges the per-peer
+// rankings (descending estimate, ties by ascending key — the Store's own
+// order) into the cluster-wide top k. Each key lives on one owner, so
+// per-peer rankings are disjoint and the merge of per-peer top-k lists
+// provably contains the global top k; duplicate keys (possible only on
+// an aggregator queried as a partition peer) keep their largest
+// estimate. Unreachable peers degrade the result.
+func (c *Client) TopK(ctx context.Context, k int) (TopKResult, error) {
+	if k <= 0 {
+		return TopKResult{}, nil
+	}
+	lists := make([][]server.Entry, len(c.peers))
+	errs := make([]error, len(c.peers))
+	c.scatter(func(i int, pc *server.Client) {
+		lists[i], errs[i] = pc.TopK(ctx, k)
+	})
+	var res TopKResult
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if unreachable(err) {
+			res.degrade(c.ring.peers[i])
+			lists[i] = nil
+			continue
+		}
+		return TopKResult{}, &PeerError{Peer: c.ring.peers[i], Err: err}
+	}
+	sort.Strings(res.Unreachable)
+	res.Top = mergeTopK(lists, k)
+	return res, nil
+}
+
+// mergeTopK k-way merges per-peer rankings already sorted by (estimate
+// desc, key asc) and returns the first k distinct keys in that same
+// global order.
+func mergeTopK(lists [][]server.Entry, k int) []server.Entry {
+	heads := make([]int, len(lists))
+	better := func(a, b server.Entry) bool {
+		return a.Estimate > b.Estimate || (a.Estimate == b.Estimate && a.Key < b.Key)
+	}
+	var out []server.Entry
+	seen := make(map[string]bool)
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best == -1 || better(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := lists[best][heads[best]]
+		heads[best]++
+		if seen[e.Key] {
+			continue
+		}
+		seen[e.Key] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats scatter-gathers /v1/stats and sums the store totals; per-peer
+// numbers ride along. Unreachable peers degrade the result.
+func (c *Client) Stats(ctx context.Context) (StatsResult, error) {
+	stats := make([]server.Stats, len(c.peers))
+	errs := make([]error, len(c.peers))
+	c.scatter(func(i int, pc *server.Client) {
+		stats[i], errs[i] = pc.Stats(ctx)
+	})
+	var res StatsResult
+	for i, err := range errs {
+		if err != nil {
+			if unreachable(err) {
+				res.degrade(c.ring.peers[i])
+				continue
+			}
+			return StatsResult{}, &PeerError{Peer: c.ring.peers[i], Err: err}
+		}
+		st := stats[i]
+		res.Keys += st.Keys
+		res.SizeBits += st.SizeBits
+		res.FootprintBytes += st.FootprintBytes
+		res.Records += st.Records
+		res.Changed += st.Changed
+		res.Peers = append(res.Peers, PeerStats{Peer: c.ring.peers[i], Stats: st})
+	}
+	sort.Strings(res.Unreachable)
+	return res, nil
+}
+
+// Health probes every peer's /v1/healthz concurrently — the cluster
+// prober. A peer's failure is reported in its row, never as an error
+// (probing unreachable peers is the point).
+func (c *Client) Health(ctx context.Context) []PeerHealth {
+	out := make([]PeerHealth, len(c.peers))
+	c.scatter(func(i int, pc *server.Client) {
+		out[i].Peer = c.ring.peers[i]
+		h, err := pc.Health(ctx)
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].OK = true
+		out[i].HealthResult = h
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Pusher is the edge half of the edge→aggregator topology: on a timer it
+// snapshots an edge node's whole store and ships it to the aggregator's
+// /v1/merge, which key-wise unions mergeable kinds into the central
+// view. Snapshots are bit-identical by construction (same Spec, same
+// seed), so a push is a pure set union — re-pushing the same state is
+// idempotent, and a missed interval is healed by the next one.
+//
+// Only mergeable kinds can aggregate (the S-bitmap refuses with a typed
+// not_mergeable error); under partitioning the S-bitmap instead stays
+// authoritative on its owning node and is queried there.
+type Pusher struct {
+	// Source produces the snapshot to ship — typically
+	// (*server.Server).Store().MarshalBinary.
+	Source func() ([]byte, error)
+	// Target is the aggregator's client (give it WithRetry; a push is a
+	// background transfer, patience is free).
+	Target *server.Client
+	// Interval between pushes; Run requires it > 0.
+	Interval time.Duration
+	// Logf, when non-nil, receives one line per push outcome.
+	Logf func(format string, args ...any)
+
+	pushes     atomic.Int64
+	pushedKeys atomic.Int64
+	failures   atomic.Int64
+}
+
+// PushOnce snapshots the source and merges it into the target now.
+func (p *Pusher) PushOnce(ctx context.Context) (server.MergeResult, error) {
+	blob, err := p.Source()
+	if err != nil {
+		p.failures.Add(1)
+		return server.MergeResult{}, fmt.Errorf("cluster: push snapshot: %w", err)
+	}
+	res, err := p.Target.Merge(ctx, blob)
+	if err != nil {
+		p.failures.Add(1)
+		return server.MergeResult{}, fmt.Errorf("cluster: push to %s: %w", p.Target.Base(), err)
+	}
+	p.pushes.Add(1)
+	p.pushedKeys.Add(int64(res.KeysMerged))
+	return res, nil
+}
+
+// Run pushes on every Interval tick until ctx is done. A failed push is
+// logged and retried at the next tick — the aggregator being down must
+// not take the edge node's counting down with it.
+func (p *Pusher) Run(ctx context.Context) {
+	tick := time.NewTicker(p.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if res, err := p.PushOnce(ctx); err != nil {
+				if p.Logf != nil {
+					p.Logf("snapshot push: %v", err)
+				}
+			} else if p.Logf != nil {
+				p.Logf("snapshot push: %d keys merged into %s", res.KeysMerged, p.Target.Base())
+			}
+		}
+	}
+}
+
+// Pushes, PushedKeys, Failures report the pusher's lifetime counters.
+func (p *Pusher) Pushes() int64     { return p.pushes.Load() }
+func (p *Pusher) PushedKeys() int64 { return p.pushedKeys.Load() }
+func (p *Pusher) Failures() int64   { return p.failures.Load() }

@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is the Go face of the counting service: thin typed wrappers over
@@ -20,6 +21,11 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Retry policy (off unless WithRetry): up to retries re-sends after a
+	// transient failure, sleeping retryBase<<attempt between tries.
+	retries   int
+	retryBase time.Duration
 }
 
 // ClientOption configures a Client.
@@ -28,6 +34,20 @@ type ClientOption func(*Client)
 // WithHTTPClient substitutes the transport (timeouts, proxies, test
 // doubles); the default is a plain &http.Client{}.
 func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithRetry enables bounded retry on transient failures: transport errors
+// (connection refused/reset, broken pipe — anything the http.Client
+// returns instead of a response) and 5xx responses. Up to retries extra
+// attempts are made, with exponential backoff starting at base
+// (base, 2·base, 4·base, ...), aborted early if the request context is
+// done. Safe for every endpoint: request bodies are byte slices, so a
+// re-send transmits identical bytes, and all endpoints are idempotent or
+// ingest-once-per-frame at worst (a retried /v1/add whose first attempt
+// actually reached the store re-adds the same records — set semantics
+// make that a no-op on counter state). Off by default.
+func WithRetry(retries int, base time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.retryBase = retries, base }
+}
 
 // NewClient returns a client for the service at base, e.g.
 // "http://127.0.0.1:8287".
@@ -39,10 +59,42 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	return c
 }
 
-// do issues one request and decodes the JSON response into out (when
-// non-nil). Any non-2xx response is returned as an *APIError carrying the
-// service's typed code.
+// do issues one request (retrying per the WithRetry policy) and decodes
+// the JSON response into out (when non-nil). Any non-2xx response is
+// returned as an *APIError carrying the service's typed code.
 func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, contentType, body, out)
+		if err == nil || attempt >= c.retries || !retryable(err) {
+			return err
+		}
+		// Bounded backoff; give up immediately once the caller's context
+		// is done (its error is more useful than the transport's).
+		select {
+		case <-time.After(c.retryBase << attempt):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// retryable reports whether an attempt's failure is worth re-sending: a
+// transport-level error (no response arrived — refused, reset, EOF) or a
+// 5xx (the server existed but failed; 4xx is the request's fault and will
+// fail identically). Context cancellation is terminal.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return true
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, contentType string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -159,7 +211,27 @@ func (c *Client) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 	return res, err
 }
 
-// Healthz probes liveness.
+// Healthz probes liveness over the plain-text /healthz endpoint.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
 }
+
+// Health probes liveness over /v1/healthz, returning the node's status,
+// spec, role, and uptime — the cluster prober's endpoint.
+func (c *Client) Health(ctx context.Context) (HealthResult, error) {
+	var res HealthResult
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", "", nil, &res)
+	return res, err
+}
+
+// Cluster returns the node's view of the cluster topology (role, peer
+// list, aggregator) — enough for a client to bootstrap a cluster.Ring
+// from any one node.
+func (c *Client) Cluster(ctx context.Context) (ClusterInfo, error) {
+	var res ClusterInfo
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", "", nil, &res)
+	return res, err
+}
+
+// Base returns the base URL the client was built with.
+func (c *Client) Base() string { return c.base }

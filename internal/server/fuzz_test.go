@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzFrame drives the SBF1 add-frame decoder with arbitrary bytes. The
+// decoder sits directly on the network ingest path, so it must reject
+// every malformed input with an error — truncations, lying record
+// counts, huge uvarints, oversized key lengths — and never panic,
+// over-allocate from a declared count, or read out of bounds. For inputs
+// it accepts, decoding must be consistent: re-encoding the decoded frame
+// and decoding again yields the identical frame (a fixed point; the
+// original bytes may differ only by non-minimal uvarints). CI runs a
+// short smoke over this target; `go test -fuzz FuzzFrame
+// ./internal/server` digs deeper.
+func FuzzFrame(f *testing.F) {
+	// Well-formed frames of both item types.
+	f.Add(AppendFrame64(nil, []string{"alice", "bob"}, []uint64{1, 0xdeadbeef}))
+	f.Add(AppendFrameString(nil, []string{"k"}, []string{""}))
+	f.Add(AppendFrameString(nil, []string{"link-a", "link-b"}, []string{"10.0.0.1", "x"}))
+	f.Add(appendFrameHeader(nil, frameItems64, 0))
+	// Truncations at every interesting boundary.
+	full := AppendFrame64(nil, []string{"key"}, []uint64{7})
+	for _, cut := range []int{0, 3, 4, 5, 9, 10, 11, len(full) - 1} {
+		f.Add(full[:cut])
+	}
+	// Lying record count: header declares records the payload lacks.
+	lie := appendFrameHeader(nil, frameItems64, 1<<30)
+	f.Add(lie)
+	// Huge uvarint key length.
+	huge := appendFrameHeader(nil, frameItemsString, 1)
+	huge = binary.AppendUvarint(huge, 1<<40)
+	f.Add(huge)
+	// Non-minimal uvarint (0x80 0x01 = 128): accepted, but must re-decode
+	// to the same frame through the minimal re-encoding.
+	f.Add([]byte{0x53, 0x42, 0x46, 0x31, 1, 2, 1, 0, 0, 0, 0x81, 0x00})
+	// Trailing garbage after a valid record.
+	f.Add(append(AppendFrame64(nil, []string{"k"}, []uint64{1}), 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		n := fr.Records()
+		if len(fr.Keys) != n {
+			t.Fatalf("Records()=%d but %d keys", n, len(fr.Keys))
+		}
+		if (fr.Items64 == nil) == (fr.ItemsString == nil) {
+			t.Fatalf("decoded frame must carry exactly one item slice (64=%v str=%v)",
+				fr.Items64 != nil, fr.ItemsString != nil)
+		}
+		if fr.Items64 != nil && len(fr.Items64) != n {
+			t.Fatalf("%d keys, %d uint64 items", n, len(fr.Items64))
+		}
+		if fr.ItemsString != nil && len(fr.ItemsString) != n {
+			t.Fatalf("%d keys, %d string items", n, len(fr.ItemsString))
+		}
+		for i, k := range fr.Keys {
+			if k == "" || len(k) > frameMaxKeyLen {
+				t.Fatalf("record %d: key length %d escaped validation", i, len(k))
+			}
+		}
+		// Fixed point: re-encode (minimal uvarints) and decode again.
+		var reenc []byte
+		if fr.Items64 != nil {
+			reenc = AppendFrame64(nil, fr.Keys, fr.Items64)
+		} else {
+			reenc = AppendFrameString(nil, fr.Keys, fr.ItemsString)
+		}
+		fr2, err := DecodeFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("re-decode differs:\n%+v\n%+v", fr, fr2)
+		}
+	})
+}

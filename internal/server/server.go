@@ -15,7 +15,9 @@
 //	POST /v1/merge       body is a Store snapshot envelope from a peer or
 //	                     edge agent; key-wise union merge (Mergeable kinds)
 //	POST /v1/checkpoint  write a durable snapshot now
-//	GET  /healthz        liveness probe
+//	GET  /v1/healthz     liveness: status, spec, uptime (JSON)
+//	GET  /v1/cluster     this node's cluster topology (role, peers)
+//	GET  /healthz        plain-text liveness probe (curl/load-balancer)
 //
 // Errors are typed: every 4xx/5xx body is {"error":{"code":...,
 // "message":...}} with a stable machine-readable code.
@@ -66,6 +68,29 @@ type Config struct {
 	// MaxBodyBytes bounds ingest/merge request bodies; 0 means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Cluster describes this node's place in a sketchd cluster (role,
+	// static peer list, aggregator); the zero value is a standalone node.
+	// Informational: the server reports it on GET /v1/cluster so any node
+	// can tell a client the topology, but routing stays client-side.
+	Cluster ClusterInfo
+}
+
+// Cluster roles. A zero/empty role reports as RoleStandalone.
+const (
+	RoleStandalone = "standalone"
+	RoleEdge       = "edge"
+	RoleAggregator = "aggregator"
+)
+
+// ClusterInfo is this node's view of the cluster topology, served on
+// GET /v1/cluster. Peers is the partition set (every node's base URL, in
+// ring order — identical lists on every node and client yield identical
+// key placement); Aggregator is where an edge node pushes snapshots.
+type ClusterInfo struct {
+	Role                string   `json:"role"`
+	Peers               []string `json:"peers,omitempty"`
+	Aggregator          string   `json:"aggregator,omitempty"`
+	PushIntervalSeconds float64  `json:"push_interval_seconds,omitempty"`
 }
 
 // Server serves one keyed Store over HTTP. It implements http.Handler;
@@ -109,6 +134,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxKeys < 0 {
 		return nil, fmt.Errorf("server: key limit %d < 0", cfg.MaxKeys)
 	}
+	switch cfg.Cluster.Role {
+	case "", RoleStandalone, RoleEdge, RoleAggregator:
+	default:
+		return nil, fmt.Errorf("server: unknown cluster role %q (want %s, %s, or %s)",
+			cfg.Cluster.Role, RoleStandalone, RoleEdge, RoleAggregator)
+	}
 	var opts []sbitmap.StoreOption
 	if cfg.Stripes > 0 {
 		opts = append(opts, sbitmap.WithStripes(cfg.Stripes))
@@ -138,6 +169,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
@@ -465,6 +498,45 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
+}
+
+// HealthResult is the GET /v1/healthz response: enough for a prober to
+// confirm the node is alive AND is the node it expects (same spec), at a
+// cost independent of the store size.
+type HealthResult struct {
+	Status        string  `json:"status"`
+	Spec          string  `json:"spec"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Health reports the node's liveness summary (what GET /v1/healthz
+// serves) — exported so in-process composition can skip the HTTP hop.
+func (s *Server) Health() HealthResult {
+	return HealthResult{
+		Status:        "ok",
+		Spec:          s.store.Spec().String(),
+		Role:          s.ClusterInfo().Role,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// ClusterInfo returns the configured topology with the role defaulted,
+// so callers and /v1/cluster always see a concrete role string.
+func (s *Server) ClusterInfo() ClusterInfo {
+	info := s.cfg.Cluster
+	if info.Role == "" {
+		info.Role = RoleStandalone
+	}
+	return info
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ClusterInfo())
 }
 
 // ErrNoCheckpointPath reports a Checkpoint call on a server configured
