@@ -1,0 +1,88 @@
+package sbitmap
+
+import (
+	"repro/internal/core"
+	"repro/internal/uhash"
+)
+
+// Cold-path allocation. A keyed Store materializes one counter per
+// distinct key; at millions of keys the per-key constructor cost — a
+// fresh Config dimensioning, a fresh Hasher, and three heap objects per
+// sketch — dominates cold ingest (BENCH_keyed.json's scattered-cold cell).
+// The hooks here let the Store amortize all of it: a counterArena slabs
+// per-key state for a Spec whose sketches are identically sized, and
+// scratchBulkAdder lets the Store lend one per-stripe hash scratch to
+// every tiny sketch instead of each lazily allocating its own ~4 KiB.
+
+// counterArena materializes counters for one Spec out of pre-allocated
+// slabs. Arenas are not safe for concurrent use — the Store confines each
+// to one lock stripe. Slots are never reclaimed: a counter dropped from
+// the Store leaks its slot until the whole slab is unreachable, which is
+// why the Store only uses arenas when it is not evicting.
+type counterArena interface {
+	next() Counter
+}
+
+// scratchBulkAdder is the BulkAdder variant whose batch path hashes
+// through caller-owned scratch instead of per-sketch buffers. The state
+// after a call is bit-identical to the corresponding BulkAdder call.
+type scratchBulkAdder interface {
+	addBatch64Scratch(scr *uhash.Scratch, items []uint64) int
+	addBatchStringScratch(scr *uhash.Scratch, items []string) int
+}
+
+func (s *SBitmap) addBatch64Scratch(scr *uhash.Scratch, items []uint64) int {
+	return s.sk.AddBatch64Scratch(scr, items)
+}
+
+func (s *SBitmap) addBatchStringScratch(scr *uhash.Scratch, items []string) int {
+	return s.sk.AddBatchStringScratch(scr, items)
+}
+
+// sbitmapArena implements counterArena for KindSBitmap: core.SketchArena
+// slabs the sketch state, and the SBitmap facade values come from a
+// parallel slab so the whole per-key chain is two pointer bumps.
+type sbitmapArena struct {
+	arena *core.SketchArena
+	wraps []SBitmap
+	chunk int
+}
+
+func (a *sbitmapArena) next() Counter {
+	if len(a.wraps) == 0 {
+		if a.chunk == 0 {
+			a.chunk = 4
+		} else if a.chunk < 256 {
+			a.chunk *= 2
+		}
+		a.wraps = make([]SBitmap, a.chunk)
+	}
+	w := &a.wraps[0]
+	a.wraps = a.wraps[1:]
+	w.sk = a.arena.New()
+	return w
+}
+
+// newArena returns a slab allocator producing counters bit-identical to
+// Spec.New's, or nil for kinds without one (only the S-bitmap — the
+// Store's headline per-key sketch — has an arena today; other kinds fall
+// back to Spec.New per key).
+func (s Spec) newArena() (counterArena, error) {
+	if s.Kind != KindSBitmap {
+		return nil, nil
+	}
+	cfg, err := s.sbitmapConfig()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := s.options()
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	coreOpts := []core.Option{
+		core.WithResolution(o.dBits),
+		core.WithHasher(o.newHasher()),
+	}
+	return &sbitmapArena{arena: core.NewSketchArena(cfg, o.seed, coreOpts...)}, nil
+}

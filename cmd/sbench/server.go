@@ -2,16 +2,19 @@ package main
 
 // The server pseudo-experiment measures the counting service end to end:
 // a real sketchd serving layer (internal/server over net/http) on
-// loopback, driven by the client library through its three ingest paths —
-// one NDJSON record per request (the naive producer), NDJSON batches, and
-// the compact binary frame (the deployment path, decoding straight onto
-// Store.AddBatch64) — plus query latency over /v1/estimate. The full-pass
-// modes push ≥1M keyed updates each, and the frame pass is verified
-// bit-identical against a local Store fed the same records, so the report
-// doubles as an end-to-end correctness check. `sbench -run server -json
+// loopback, driven by the client library through its four ingest paths —
+// one NDJSON record per request (the naive producer), NDJSON batches,
+// the compact binary frame over HTTP (decoding straight onto
+// Store.AddBatch64), and the same frames over the raw TCP wire listener
+// (internal/wire: length-prefixed, pipelined, zero-copy decode) — plus
+// query latency over /v1/estimate. The full-pass modes push ≥1M keyed
+// updates each, and the frame and tcp passes are verified bit-identical
+// against a local Store fed the same records, so the report doubles as
+// an end-to-end correctness check. `sbench -run server -json
 // BENCH_server.json` regenerates the repo's tracked BENCH_server.json
-// (absolute rates are machine-dependent; the frame-vs-NDJSON ratio and
-// the per-request floor of the per-item mode are the stable signal).
+// (absolute rates are machine-dependent; the tcp-vs-frame-vs-NDJSON
+// ratios and the per-request floor of the per-item mode are the stable
+// signal).
 
 import (
 	"context"
@@ -20,11 +23,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	sbitmap "repro"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -41,7 +46,7 @@ const (
 )
 
 type serverResult struct {
-	Mode          string  `json:"mode"` // "peritem", "ndjson", or "frame"
+	Mode          string  `json:"mode"` // "peritem", "ndjson", "frame", or "tcp"
 	Records       int     `json:"records"`
 	Requests      int     `json:"requests"`
 	Seconds       float64 `json:"seconds"`
@@ -69,6 +74,7 @@ type serverReport struct {
 		StatsUs  float64 `json:"stats_us"`
 		Checked  int     `json:"verified_keys"`
 		Verified bool    `json:"frame_bit_identical"`
+		TCPOK    bool    `json:"tcp_bit_identical"`
 	} `json:"query"`
 	Store struct {
 		Keys           int `json:"keys"`
@@ -106,6 +112,37 @@ func serverWorkload(seed uint64) (keys []string, items []uint64, spreads []int) 
 		items[i], items[j] = items[j], items[i]
 	}
 	return keys, items, spreads
+}
+
+// localTwin feeds the full workload into an in-process Store, the ground
+// truth the served ingest paths must match bit for bit.
+func localTwin(spec sbitmap.Spec, keys []string, items []uint64) (*sbitmap.Store[string], error) {
+	local, err := sbitmap.NewStore[string](spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(keys); i += serverBatch {
+		end := min(i+serverBatch, len(keys))
+		local.AddBatch64(keys[i:end], items[i:end])
+	}
+	return local, nil
+}
+
+// estimatesMatch compares every key's estimate in the local twin against
+// the served store; any miss or mismatch means the transport corrupted
+// state.
+func estimatesMatch(local *sbitmap.Store[string], srv *server.Server) (checked int, identical bool) {
+	identical = srv.Store().Len() == local.Len()
+	local.ForEach(func(key string, c sbitmap.Counter) bool {
+		got, ok := srv.Store().Estimate(key)
+		if !ok || got != c.Estimate() {
+			identical = false
+			return false
+		}
+		checked++
+		return true
+	})
+	return checked, identical
 }
 
 // startServer binds a fresh counting service to a loopback port.
@@ -158,7 +195,11 @@ func runServer(jsonPath string, seed uint64) error {
 			frameHTTP.Close()
 		}
 	}()
-	for _, mode := range []string{"peritem", "ndjson", "frame"} {
+	// tcp runs before frame and releases its store as soon as it is
+	// verified, so neither heavy mode is taxed by GC scans of the other's
+	// live 40+ MB store (retention skews the slower-looking mode by ~2x).
+	for _, mode := range []string{"peritem", "ndjson", "tcp", "frame"} {
+		runtime.GC()
 		srv, hs, base, err := startServer(spec)
 		if err != nil {
 			return err
@@ -202,6 +243,29 @@ func runServer(jsonPath string, seed uint64) error {
 				reqs++
 			}
 			n = len(keys)
+		case "tcp":
+			// Raw wire transport: the same frames, but over a long-lived
+			// TCP connection with pipelined sends and batched acks instead
+			// of one HTTP request/response per frame.
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			ws := wire.Serve(wln, srv)
+			wc := wire.NewClient(wln.Addr().String())
+			for i := 0; i < len(keys); i += serverBatch {
+				end := min(i+serverBatch, len(keys))
+				if err := wc.Send64(keys[i:end], items[i:end]); err != nil {
+					return err
+				}
+				reqs++
+			}
+			if _, err := wc.Drain(); err != nil {
+				return err
+			}
+			n = len(keys)
+			wc.Close()
+			ws.Close()
 		}
 		secs := time.Since(start).Seconds()
 		report.Results = append(report.Results, serverResult{
@@ -209,34 +273,33 @@ func runServer(jsonPath string, seed uint64) error {
 			RecordsPerSec: float64(n) / secs,
 		})
 		fmt.Printf("%-8s %10d %10d %9.2f %14.3e\n", mode, n, reqs, secs, float64(n)/secs)
-		if mode == "frame" {
+		switch mode {
+		case "frame":
 			frameSrv, frameClient, frameHTTP = srv, client, hs
-		} else {
+		case "tcp":
+			// Verify now so the store can be released before the frame
+			// pass runs (see the retention note above the loop).
+			local, err := localTwin(spec, keys, items)
+			if err != nil {
+				return err
+			}
+			if _, ok := estimatesMatch(local, srv); !ok {
+				return fmt.Errorf("server: tcp-ingested estimates differ from a local store")
+			}
+			report.Query.TCPOK = true
+			hs.Close()
+		default:
 			hs.Close()
 		}
 	}
 
 	// Correctness: the frame pass must be bit-identical to a local Store
 	// fed the same records — the service adds transport, not estimation.
-	local, err := sbitmap.NewStore[string](spec)
+	local, err := localTwin(spec, keys, items)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < len(keys); i += serverBatch {
-		end := min(i+serverBatch, len(keys))
-		local.AddBatch64(keys[i:end], items[i:end])
-	}
-	identical := true
-	checked := 0
-	local.ForEach(func(key string, c sbitmap.Counter) bool {
-		got, ok := frameSrv.Store().Estimate(key)
-		if !ok || got != c.Estimate() {
-			identical = false
-			return false
-		}
-		checked++
-		return true
-	})
+	checked, identical := estimatesMatch(local, frameSrv)
 	if !identical {
 		return fmt.Errorf("server: frame-ingested estimates differ from a local store")
 	}
@@ -286,7 +349,7 @@ func runServer(jsonPath string, seed uint64) error {
 
 	fmt.Printf("\nqueries: %d estimates, mean %.0f µs, p50 %.0f µs, p99 %.0f µs (%.3e/s); topk(%d) %.0f µs, stats %.0f µs\n",
 		serverQueries, mean, report.Query.P50Us, report.Query.P99Us, report.Query.PerSec, topK, report.Query.TopKUs, report.Query.StatsUs)
-	fmt.Printf("store: %d keys, %d bytes resident; frame ingest bit-identical to local store over %d keys\n",
+	fmt.Printf("store: %d keys, %d bytes resident; frame and tcp ingest bit-identical to local store over %d keys\n",
 		stats.Keys, stats.FootprintBytes, checked)
 
 	if jsonPath != "" {

@@ -9,6 +9,14 @@
 //	sketchd -spec "sbitmap:n=1e6,eps=0.01" -addr :8287
 //	sketchd -spec "hll:mbits=4096" -checkpoint /var/lib/sketchd/ckpt.bin \
 //	        -checkpoint-interval 30s -maxkeys 2000000
+//	sketchd -addr :8287 -tcp-addr :8288          # raw TCP frame ingest
+//	sketchd -addr :8287 -pprof-addr 127.0.0.1:6060
+//
+// With -tcp-addr, the same binary add frames POST /v1/add accepts are
+// also ingested over raw TCP (length-prefixed, acked per frame — see
+// internal/wire), skipping HTTP entirely on the hot path. With
+// -pprof-addr, net/http/pprof is served on its own listener (keep it on
+// loopback).
 //
 // With -checkpoint, the store is restored from the named snapshot on
 // start (if present) and written back atomically on the interval, on
@@ -49,6 +57,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +67,7 @@ import (
 	sbitmap "repro"
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -68,6 +78,8 @@ func main() {
 // are testable without binding a socket.
 type config struct {
 	addr         string
+	tcpAddr      string
+	pprofAddr    string
 	server       server.Config
 	interval     time.Duration
 	pushInterval time.Duration
@@ -82,6 +94,8 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 	var (
 		specStr  = fs.String("spec", "sbitmap:n=1e6,eps=0.01", "per-key sketch spec (sbitmap.ParseSpec vocabulary)")
 		addr     = fs.String("addr", "127.0.0.1:8287", "listen address (host:port; :0 picks a free port)")
+		tcpAddr  = fs.String("tcp-addr", "", "raw TCP ingest listen address for length-prefixed add frames (empty = disabled)")
+		pprofAdr = fs.String("pprof-addr", "", "net/http/pprof listen address (empty = disabled; never expose publicly)")
 		ckPath   = fs.String("checkpoint", "", "checkpoint file: restored on start, written periodically and on shutdown")
 		interval = fs.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables the timer; needs -checkpoint)")
 		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
@@ -138,7 +152,9 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		clusterInfo.PushIntervalSeconds = pushIntv.Seconds()
 	}
 	return config{
-		addr: *addr,
+		addr:      *addr,
+		tcpAddr:   *tcpAddr,
+		pprofAddr: *pprofAdr,
 		server: server.Config{
 			Spec:           spec,
 			MaxKeys:        *maxKeys,
@@ -176,6 +192,40 @@ func run(args []string, stderr *os.File) int {
 	logger.Printf("serving spec %s on http://%s", cfg.server.Spec, ln.Addr())
 	if n := srv.RestoredKeys(); n > 0 {
 		logger.Printf("restored %d keys from checkpoint %s", n, cfg.server.CheckpointPath)
+	}
+
+	// Raw TCP ingest: the same SBF1 frames as POST /v1/add, length-prefixed
+	// on long-lived connections, acked per frame (see internal/wire).
+	var wireSrv *wire.Server
+	if cfg.tcpAddr != "" {
+		wln, err := net.Listen("tcp", cfg.tcpAddr)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 1
+		}
+		wireSrv = wire.Serve(wln, srv)
+		defer wireSrv.Close()
+		logger.Printf("wire ingest on tcp://%s", wln.Addr())
+	}
+
+	// Opt-in profiling endpoint on its own listener, so enabling it never
+	// widens the service's own API surface.
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux}
+		go pprofSrv.Serve(pln)
+		defer pprofSrv.Close()
+		logger.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -234,6 +284,13 @@ func run(args []string, stderr *os.File) int {
 	logger.Printf("shutting down")
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if wireSrv != nil {
+		// Close wire connections first so every fully received frame is in
+		// the store before the shutdown checkpoint below snapshots it.
+		if err := wireSrv.Close(); err != nil {
+			logger.Printf("wire shutdown: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
 	}

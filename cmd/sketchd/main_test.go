@@ -24,6 +24,19 @@ func TestParseFlags(t *testing.T) {
 		cfg.server.Stripes != 8 || cfg.server.MaxBodyBytes != 1024 {
 		t.Errorf("config = %+v", cfg)
 	}
+	if cfg.tcpAddr != "" || cfg.pprofAddr != "" {
+		t.Errorf("tcp/pprof listeners default on: %+v", cfg)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-tcp-addr", "127.0.0.1:9988", "-pprof-addr", "127.0.0.1:6060",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.tcpAddr != "127.0.0.1:9988" || cfg.pprofAddr != "127.0.0.1:6060" {
+		t.Errorf("config = %+v", cfg)
+	}
 }
 
 func TestParseFlagsCluster(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Default per-peer retry policy: a dead TCP connection or a mid-restart
@@ -27,6 +28,10 @@ const (
 type Client struct {
 	ring  *Ring
 	peers []*server.Client
+	// wire[i], when non-nil, carries peer i's ingest over its raw TCP
+	// frame listener instead of HTTP (see WithWireIngest). Queries always
+	// go over HTTP.
+	wire []*wirePeer
 }
 
 type options struct {
@@ -34,6 +39,7 @@ type options struct {
 	hc        *http.Client
 	retries   int
 	retryBase time.Duration
+	wireAddrs map[string]string
 }
 
 // Option configures a cluster Client.
@@ -52,6 +58,53 @@ func WithRetry(retries int, base time.Duration) Option {
 	return func(o *options) { o.retries, o.retryBase = retries, base }
 }
 
+// WithWireIngest maps peer base URLs to their raw TCP frame listener
+// addresses (sketchd -tcp-addr). Ingest to a mapped peer goes over a
+// long-lived wire connection (length-prefixed SBF1 frames, per-frame
+// acks) instead of POST /v1/add; queries and unmapped peers stay on
+// HTTP. The counting semantics are identical — the wire listener feeds
+// the same store bit-identically — only the transport changes.
+func WithWireIngest(addrs map[string]string) Option {
+	return func(o *options) { o.wireAddrs = addrs }
+}
+
+// wirePeer serializes one peer's wire connection: wire.Client is
+// single-producer by design (ordered acks), while cluster.Client is
+// documented safe for concurrent use.
+type wirePeer struct {
+	mu sync.Mutex
+	c  *wire.Client
+}
+
+// add64 sends one sub-batch synchronously, retrying once through the
+// client's auto-redial — parity with the HTTP path's transient-failure
+// retry.
+func (w *wirePeer) add64(keys []string, items []uint64) (server.AddResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, err := w.c.AddBatch64(keys, items)
+	if err != nil {
+		ch, err = w.c.AddBatch64(keys, items)
+	}
+	if err != nil {
+		return server.AddResult{}, err
+	}
+	return server.AddResult{Records: len(keys), Changed: ch}, nil
+}
+
+func (w *wirePeer) addString(keys, items []string) (server.AddResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, err := w.c.AddBatchString(keys, items)
+	if err != nil {
+		ch, err = w.c.AddBatchString(keys, items)
+	}
+	if err != nil {
+		return server.AddResult{}, err
+	}
+	return server.AddResult{Records: len(keys), Changed: ch}, nil
+}
+
 // New builds a cluster client over the given peer base URLs — the
 // cluster's partition set, the same list every node was started with.
 func New(peers []string, opts ...Option) (*Client, error) {
@@ -63,19 +116,44 @@ func New(peers []string, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{ring: ring, peers: make([]*server.Client, len(peers))}
+	c := &Client{
+		ring:  ring,
+		peers: make([]*server.Client, len(peers)),
+		wire:  make([]*wirePeer, len(peers)),
+	}
 	for i, p := range peers {
 		copts := []server.ClientOption{server.WithRetry(o.retries, o.retryBase)}
 		if o.hc != nil {
 			copts = append(copts, server.WithHTTPClient(o.hc))
 		}
 		c.peers[i] = server.NewClient(p, copts...)
+		if addr, ok := o.wireAddrs[p]; ok {
+			c.wire[i] = &wirePeer{c: wire.NewClient(addr)}
+		}
 	}
 	return c, nil
 }
 
 // Ring returns the placement ring (for inspection and tests).
 func (c *Client) Ring() *Ring { return c.ring }
+
+// Close releases any long-lived wire ingest connections (a no-op for a
+// pure-HTTP client). The client remains usable; wire connections redial
+// on the next ingest.
+func (c *Client) Close() error {
+	var first error
+	for _, wp := range c.wire {
+		if wp == nil {
+			continue
+		}
+		wp.mu.Lock()
+		if err := wp.c.Close(); err != nil && first == nil {
+			first = err
+		}
+		wp.mu.Unlock()
+	}
+	return first
+}
 
 // Owner returns the base URL of the peer owning key.
 func (c *Client) Owner(key string) string { return c.ring.OwnerPeer(key) }
@@ -171,8 +249,9 @@ func unreachable(err error) bool {
 }
 
 // addSubBatch is the shared routing core of the two ingest entrypoints:
-// gather(idx) must send the records at idx to the peer client.
-func (c *Client) addSubBatch(keys []string, send func(pc *server.Client, idx []int) (server.AddResult, error)) (AddResult, error) {
+// send(i, idx) must ship the records at idx to peer i (over whichever
+// transport that peer uses).
+func (c *Client) addSubBatch(keys []string, send func(i int, idx []int) (server.AddResult, error)) (AddResult, error) {
 	parts := c.ring.Partition(keys)
 	var (
 		mu  sync.Mutex
@@ -184,7 +263,7 @@ func (c *Client) addSubBatch(keys []string, send func(pc *server.Client, idx []i
 		if len(idx) == 0 {
 			return
 		}
-		r, err := send(pc, idx)
+		r, err := send(i, idx)
 		mu.Lock()
 		defer mu.Unlock()
 		if err == nil {
@@ -217,13 +296,16 @@ func (c *Client) AddBatch64(ctx context.Context, keys []string, items []uint64) 
 	if len(keys) != len(items) {
 		panic(fmt.Sprintf("cluster: AddBatch64 with %d keys and %d items", len(keys), len(items)))
 	}
-	return c.addSubBatch(keys, func(pc *server.Client, idx []int) (server.AddResult, error) {
+	return c.addSubBatch(keys, func(i int, idx []int) (server.AddResult, error) {
 		subKeys := make([]string, len(idx))
 		subItems := make([]uint64, len(idx))
 		for j, ix := range idx {
 			subKeys[j], subItems[j] = keys[ix], items[ix]
 		}
-		return pc.AddBatch64(ctx, subKeys, subItems)
+		if wp := c.wire[i]; wp != nil {
+			return wp.add64(subKeys, subItems)
+		}
+		return c.peers[i].AddBatch64(ctx, subKeys, subItems)
 	})
 }
 
@@ -232,13 +314,16 @@ func (c *Client) AddBatchString(ctx context.Context, keys, items []string) (AddR
 	if len(keys) != len(items) {
 		panic(fmt.Sprintf("cluster: AddBatchString with %d keys and %d items", len(keys), len(items)))
 	}
-	return c.addSubBatch(keys, func(pc *server.Client, idx []int) (server.AddResult, error) {
+	return c.addSubBatch(keys, func(i int, idx []int) (server.AddResult, error) {
 		subKeys := make([]string, len(idx))
 		subItems := make([]string, len(idx))
 		for j, ix := range idx {
 			subKeys[j], subItems[j] = keys[ix], items[ix]
 		}
-		return pc.AddBatchString(ctx, subKeys, subItems)
+		if wp := c.wire[i]; wp != nil {
+			return wp.addString(subKeys, subItems)
+		}
+		return c.peers[i].AddBatchString(ctx, subKeys, subItems)
 	})
 }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/uhash"
+)
+
+// SketchArena materializes sketches from one shared configuration by slab
+// allocation: every sketch under a Config is identically sized, so the
+// arena carves Sketch structs, Vector structs, and bitmap words out of
+// three parallel slabs instead of paying three heap objects (plus a fresh
+// Config and Hasher) per sketch. A keyed store holding millions of tiny
+// per-key sketches gets contiguous bitmap storage (fewer cache lines per
+// probe, less GC scan work) and a cold path that is a few pointer bumps
+// plus one threshold evaluation.
+//
+// All sketches share the arena's Config and Hasher. Hashers are read-only
+// after construction (asserted by the uhash tests), so sharing is safe;
+// sharing the hasher also deduplicates per-sketch seed state — for
+// tabulation hashing that is 32 KiB of tables per sketch otherwise.
+//
+// An arena is not safe for concurrent use; callers (the Store) confine
+// each arena to one lock stripe. Sketches obtained from the arena remain
+// valid for their own lifetime — the arena never reclaims a slot, so
+// dropping a sketch leaks its slot until the whole slab is unreachable.
+type SketchArena struct {
+	cfg      *Config
+	h        uhash.Hasher
+	dBits    uint
+	wordsPer int // bitmap words per sketch
+
+	// Free slots of the current slab chunk; a fresh chunk is allocated
+	// when they run out. Chunks grow geometrically so a small store does
+	// not pay for a big slab up front.
+	sketches []Sketch
+	vectors  []bitvec.Vector
+	words    []uint64
+	chunk    int
+}
+
+// Arena chunk growth bounds: the first chunk holds arenaChunkMin sketches,
+// each subsequent chunk doubles, capped at arenaChunkMax. The cap bounds
+// the transient overshoot (allocated-but-unused slots) per arena.
+const (
+	arenaChunkMin = 4
+	arenaChunkMax = 256
+)
+
+// NewSketchArena returns an arena producing sketches equivalent to
+// NewSketch(cfg, seed, opts...). Construction allocates no slabs; the
+// first New does.
+func NewSketchArena(cfg *Config, seed uint64, opts ...Option) *SketchArena {
+	o := sketchOptions{dBits: 64}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.hasher == nil {
+		o.hasher = uhash.NewMixer(seed)
+	}
+	return &SketchArena{
+		cfg:      cfg,
+		h:        o.hasher,
+		dBits:    o.dBits,
+		wordsPer: (cfg.m + 63) / 64,
+	}
+}
+
+// New returns an empty sketch bit-identical in behavior to
+// NewSketch(cfg, seed, opts...) with the arena's construction arguments,
+// allocating a new slab chunk only when the current one is exhausted.
+func (a *SketchArena) New() *Sketch {
+	if len(a.sketches) == 0 {
+		if a.chunk == 0 {
+			a.chunk = arenaChunkMin
+		} else if a.chunk < arenaChunkMax {
+			a.chunk *= 2
+		}
+		a.sketches = make([]Sketch, a.chunk)
+		a.vectors = make([]bitvec.Vector, a.chunk)
+		a.words = make([]uint64, a.chunk*a.wordsPer)
+	}
+	s := &a.sketches[0]
+	v := &a.vectors[0]
+	w := a.words[:a.wordsPer]
+	a.sketches = a.sketches[1:]
+	a.vectors = a.vectors[1:]
+	a.words = a.words[a.wordsPer:]
+	*v = bitvec.Make(w, a.cfg.m)
+	*s = Sketch{cfg: a.cfg, h: a.h, v: v, dBits: a.dBits}
+	s.cur = s.thresholdAt(0)
+	return s
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/uhash"
+)
+
+// TestArenaSketchEquivalence: a slab-allocated sketch must be
+// bit-identical to a heap-constructed one under the same config, seed,
+// and input — across chunk boundaries and with neighbors in the same slab
+// ingesting interleaved (no cross-talk through the shared word slab).
+func TestArenaSketchEquivalence(t *testing.T) {
+	cfg, err := NewConfigNE(1e4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSketches = 40 // crosses the 4, 8, 16, ... chunk growths
+	arena := NewSketchArena(cfg, 7)
+	slabbed := make([]*Sketch, nSketches)
+	heaped := make([]*Sketch, nSketches)
+	for i := range slabbed {
+		slabbed[i] = arena.New()
+		heaped[i] = NewSketch(cfg, 7)
+	}
+	// Interleaved ingest: round-robin over all sketches so slab neighbors
+	// mutate concurrently-in-time (any shared-state bug would cross-talk).
+	for round := 0; round < 300; round++ {
+		for i := range slabbed {
+			item := uint64(round*31+i*7) % 900 // duplicates included
+			a := slabbed[i].AddUint64(item)
+			b := heaped[i].AddUint64(item)
+			if a != b {
+				t.Fatalf("sketch %d round %d: slab changed=%v heap changed=%v", i, round, a, b)
+			}
+		}
+	}
+	var scr uhash.Scratch
+	for i := range slabbed {
+		// Tail batch through the borrowed-scratch path vs the native one.
+		batch := []uint64{1, 2, 3, uint64(i), uint64(i), 1 << 40}
+		if a, b := slabbed[i].AddBatch64Scratch(&scr, batch), heaped[i].AddBatch64(batch); a != b {
+			t.Fatalf("sketch %d: batch changed %d (slab+scratch) vs %d (heap)", i, a, b)
+		}
+		if slabbed[i].Estimate() != heaped[i].Estimate() {
+			t.Fatalf("sketch %d: estimates diverged", i)
+		}
+		sb, err := slabbed[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := heaped[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, hb) {
+			t.Fatalf("sketch %d: serialized state diverged", i)
+		}
+	}
+}
+
+// TestArenaOptions: resolution and hash-family options must reach the
+// slabbed sketches exactly as they reach NewSketch.
+func TestArenaOptions(t *testing.T) {
+	cfg, err := NewConfigNE(1e4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewSketchArena(cfg, 0,
+		WithResolution(30), WithHasher(uhash.NewTabulation(9)))
+	a := arena.New()
+	b := NewSketch(cfg, 0, WithResolution(30), WithHasher(uhash.NewTabulation(9)))
+	for i := uint64(0); i < 5000; i++ {
+		if ca, cb := a.AddUint64(i%1200), b.AddUint64(i%1200); ca != cb {
+			t.Fatalf("item %d: slab changed=%v heap changed=%v", i, ca, cb)
+		}
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Fatalf("estimates diverged: %g vs %g", a.Estimate(), b.Estimate())
+	}
+}
+
+// TestArenaAllocAmortized: steady-state materialization out of a full
+// chunk is allocation-free; the three slabs are paid once per chunk.
+func TestArenaAllocAmortized(t *testing.T) {
+	cfg, err := NewConfigNE(1e4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewSketchArena(cfg, 1)
+	// Burn through growth chunks until the max-size chunk is current.
+	for i := 0; i < arenaChunkMin*2+8; i++ {
+		arena.New()
+	}
+	for arena.chunk < arenaChunkMax {
+		for i := 0; i < len(arena.sketches)+1; i++ {
+			arena.New()
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { arena.New() }); allocs > 3.0/float64(arenaChunkMax)*100 {
+		// ≤ 3 slab allocations amortized over a 256-slot chunk; the run
+		// count (100) keeps the occasional chunk boundary visible but
+		// bounded.
+		t.Errorf("arena.New: %.2f allocs/op, want amortized ~3/%d", allocs, arenaChunkMax)
+	}
+}

@@ -164,6 +164,20 @@ func (s *Sketch) AddBatchString(items []string) int {
 	return uhash.BatchString(s.h, &s.scr, items, s.insertBatch)
 }
 
+// AddBatch64Scratch is AddBatch64 hashing through caller-owned scratch
+// instead of the sketch's own lazily allocated buffers. A keyed store
+// holding millions of tiny sketches shares one scratch per lock stripe,
+// so the ~4 KiB of batch buffers are paid per stripe, not per key. The
+// sketch state after the call is bit-identical to AddBatch64's.
+func (s *Sketch) AddBatch64Scratch(scr *uhash.Scratch, items []uint64) int {
+	return uhash.Batch64(s.h, scr, items, s.insertBatch)
+}
+
+// AddBatchStringScratch is AddBatch64Scratch for string items.
+func (s *Sketch) AddBatchStringScratch(scr *uhash.Scratch, items []string) int {
+	return uhash.BatchString(s.h, scr, items, s.insertBatch)
+}
+
 // insertBatch replays insert over a chunk of hashed items. Bucket indexes
 // come from a multiply-shift onto [0, m) = [0, Len()), which proves the
 // unchecked bit probes in range for the whole chunk. The acceptance

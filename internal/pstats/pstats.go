@@ -1,0 +1,66 @@
+// Package pstats provides sharded, cache-line-padded counters for hot
+// write paths. A plain atomic.Int64 bounces its cache line between every
+// core that increments it; under concurrent ingest the metrics counters
+// become a contention point that has nothing to do with the work being
+// counted. A pstats.Counter spreads increments over padded shards chosen
+// by a caller-supplied affinity value and sums them on read — writes stay
+// core-local, reads (rare: a /v1/stats call) pay a short scan.
+//
+// Affinity is any stable uintptr that distinguishes concurrent callers;
+// the natural choice is the address of an object the caller already
+// holds per-request or per-connection (a pooled scratch buffer, a conn
+// handler). Using an existing heap pointer costs nothing — in particular
+// it avoids the allocation that taking the address of a stack variable
+// just for sharding would force.
+package pstats
+
+import "sync/atomic"
+
+const (
+	// shardShift sets the shard count (1<<shardShift). Eight padded
+	// shards are enough to keep a handful of ingest cores from
+	// colliding while keeping a Counter at half a KiB; the mapping is
+	// hashed, so more concurrent writers than shards degrade gracefully
+	// to sharing rather than failing.
+	shardShift = 3
+	numShards  = 1 << shardShift
+
+	// cacheLine is the padding granularity: one shard per 64-byte line
+	// so no two shards ever share a line.
+	cacheLine = 64
+)
+
+type shard struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotone sharded counter. The zero value is ready to use;
+// embed it by value. Safe for concurrent use.
+type Counter struct {
+	shards [numShards]shard
+}
+
+// slot hashes an affinity value onto a shard. Fibonacci multiplicative
+// hashing on the high bits: pointer affinities differ mostly in their
+// middle bits (same heap, same alignment), which a plain mask would
+// ignore.
+func slot(affinity uintptr) int {
+	return int((uint64(affinity) * 0x9E3779B97F4A7C15) >> (64 - shardShift))
+}
+
+// Add folds d into the counter on the shard selected by affinity.
+func (c *Counter) Add(affinity uintptr, d int64) {
+	c.shards[slot(affinity)].v.Add(d)
+}
+
+// Load returns the counter's current total: the sum over all shards.
+// Each shard is read atomically; concurrent Adds may or may not be
+// included, exactly as with a single atomic counter.
+func (c *Counter) Load() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}

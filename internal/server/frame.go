@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
+	"unsafe"
 )
 
 // The add frame is the compact binary ingest format of the counting
@@ -52,6 +53,13 @@ type Frame struct {
 	Keys        []string
 	Items64     []uint64
 	ItemsString []string
+
+	// spare64/spareS park the capacity of whichever item slice the last
+	// decode did not select, so a reused Frame stays allocation-free even
+	// when consecutive frames alternate item types while Items64 /
+	// ItemsString keep their exactly-one-non-nil contract.
+	spare64 []uint64
+	spareS  []string
 }
 
 // Records returns the number of records in the frame.
@@ -113,18 +121,61 @@ func frameUvarint(data []byte, what string, max int) (int, []byte, error) {
 // and string items are copied out of data, so the caller may reuse its
 // buffer once DecodeFrame returns.
 func DecodeFrame(data []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := f.decode(data, true); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeBorrowed parses an add frame into f without copying: keys and
+// string items alias data, and f's slices are reused across calls (grown
+// once, then steady-state allocation-free). It accepts and rejects
+// exactly the frames DecodeFrame does.
+//
+// The aliasing contract: the decoded strings are views into data, valid
+// only until the caller reuses the buffer. The Store's batch methods are
+// safe consumers — they hash items immediately and clone any key they
+// materialize — which is what makes a persistent-connection listener's
+// read-decode-add loop zero-copy end to end. On error f is emptied.
+func (f *Frame) DecodeBorrowed(data []byte) error {
+	return f.decode(data, false)
+}
+
+// byteString reinterprets b as a string without copying. The result
+// aliases b: it is valid only while b's contents are unchanged.
+func byteString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// decode is the parse core of DecodeFrame (copyStrings=true: fresh
+// slices, copied strings) and DecodeBorrowed (reused slices, aliased
+// strings).
+func (f *Frame) decode(data []byte, copyStrings bool) error {
+	// Empty f up front (errors leave it empty) while parking both item
+	// slices' capacity in the spares for reuse below.
+	f.Keys = f.Keys[:0]
+	if f.Items64 != nil {
+		f.spare64, f.Items64 = f.Items64[:0], nil
+	}
+	if f.ItemsString != nil {
+		f.spareS, f.ItemsString = f.ItemsString[:0], nil
+	}
 	if len(data) < 10 {
-		return nil, fmt.Errorf("server: truncated frame: header needs 10 bytes, have %d", len(data))
+		return fmt.Errorf("server: truncated frame: header needs 10 bytes, have %d", len(data))
 	}
 	if binary.LittleEndian.Uint32(data) != frameMagic {
-		return nil, fmt.Errorf("server: bad frame magic (not an add frame)")
+		return fmt.Errorf("server: bad frame magic (not an add frame)")
 	}
 	if v := data[4]; v != frameVersion {
-		return nil, fmt.Errorf("server: unsupported frame version %d (this build reads version %d)", v, frameVersion)
+		return fmt.Errorf("server: unsupported frame version %d (this build reads version %d)", v, frameVersion)
 	}
 	itemType := data[5]
 	if itemType != frameItems64 && itemType != frameItemsString {
-		return nil, fmt.Errorf("server: unknown frame item type %d", itemType)
+		return fmt.Errorf("server: unknown frame item type %d", itemType)
 	}
 	count := int(binary.LittleEndian.Uint32(data[6:]))
 	rest := data[10:]
@@ -136,51 +187,87 @@ func DecodeFrame(data []byte) (*Frame, error) {
 		minRec = 9
 	}
 	if count*minRec > len(rest) {
-		return nil, fmt.Errorf("server: truncated frame: %d records declared, %d bytes of payload", count, len(rest))
+		return fmt.Errorf("server: truncated frame: %d records declared, %d bytes of payload", count, len(rest))
 	}
-	f := &Frame{Keys: make([]string, count)}
+	// Exactly one of the item slices ends up non-nil — that is how callers
+	// (and the HTTP handler) tell the two record shapes apart, so the
+	// selected slice is forced non-nil even for an empty frame and the
+	// other stays nil (its capacity parked in the spare).
+	keys := f.Keys
+	if keys == nil || cap(keys) < count {
+		keys = make([]string, 0, count)
+	}
+	items64 := f.spare64[:0]
+	itemsS := f.spareS[:0]
 	if itemType == frameItems64 {
-		f.Items64 = make([]uint64, count)
+		if items64 == nil || cap(items64) < count {
+			items64 = make([]uint64, 0, count)
+		}
 	} else {
-		f.ItemsString = make([]string, count)
+		if itemsS == nil || cap(itemsS) < count {
+			itemsS = make([]string, 0, count)
+		}
+	}
+	str := byteString
+	if copyStrings {
+		str = func(b []byte) string { return string(b) }
 	}
 	var err error
 	var klen int
 	for i := 0; i < count; i++ {
 		if klen, rest, err = frameUvarint(rest, "key", frameMaxKeyLen); err != nil {
-			return nil, fmt.Errorf("%w (record %d)", err, i)
+			return fmt.Errorf("%w (record %d)", err, i)
 		}
 		if klen == 0 {
 			// Same contract as the NDJSON ingest path: a record with no
 			// key is malformed, not a record for the empty-string key
 			// (which /v1/estimate could never query back).
-			return nil, fmt.Errorf("server: frame record %d has an empty key", i)
+			return fmt.Errorf("server: frame record %d has an empty key", i)
 		}
 		if klen > len(rest) {
-			return nil, fmt.Errorf("server: truncated frame: record %d key", i)
+			return fmt.Errorf("server: truncated frame: record %d key", i)
 		}
-		f.Keys[i] = string(rest[:klen])
+		keys = append(keys, str(rest[:klen]))
 		rest = rest[klen:]
 		if itemType == frameItems64 {
 			if len(rest) < 8 {
-				return nil, fmt.Errorf("server: truncated frame: record %d item", i)
+				return fmt.Errorf("server: truncated frame: record %d item", i)
 			}
-			f.Items64[i] = binary.LittleEndian.Uint64(rest)
+			items64 = append(items64, binary.LittleEndian.Uint64(rest))
 			rest = rest[8:]
 		} else {
 			var ilen int
 			if ilen, rest, err = frameUvarint(rest, "item", len(rest)); err != nil {
-				return nil, fmt.Errorf("%w (record %d)", err, i)
+				return fmt.Errorf("%w (record %d)", err, i)
 			}
 			if ilen > len(rest) {
-				return nil, fmt.Errorf("server: truncated frame: record %d item", i)
+				return fmt.Errorf("server: truncated frame: record %d item", i)
 			}
-			f.ItemsString[i] = string(rest[:ilen])
+			itemsS = append(itemsS, str(rest[:ilen]))
 			rest = rest[ilen:]
 		}
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("server: %d trailing bytes after last frame record", len(rest))
+		return fmt.Errorf("server: %d trailing bytes after last frame record", len(rest))
 	}
-	return f, nil
+	f.Keys = keys
+	if itemType == frameItems64 {
+		f.Items64, f.spare64 = items64, nil
+		f.spareS = itemsS
+	} else {
+		f.ItemsString, f.spareS = itemsS, nil
+		f.spare64 = items64
+	}
+	return nil
+}
+
+// Release drops the frame's references into borrowed or decoded memory
+// (string views, item slices keep their capacity) so a pooled Frame
+// cannot pin a request body or a connection's read buffer.
+func (f *Frame) Release() {
+	clear(f.Keys[:cap(f.Keys)]) // to cap: a failed decode appends past the reset length
+	clear(f.ItemsString[:cap(f.ItemsString)])
+	clear(f.spareS[:cap(f.spareS)])
+	f.Keys, f.Items64, f.ItemsString = f.Keys[:0], f.Items64[:0], f.ItemsString[:0]
+	f.spareS = f.spareS[:0]
 }

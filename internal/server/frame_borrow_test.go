@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"unsafe"
+
+	sbitmap "repro"
+)
+
+// TestDecodeBorrowedMatchesDecodeFrame: the zero-copy decoder must accept
+// and reject exactly what DecodeFrame does, producing equal frames —
+// including when one borrowed Frame is reused across inputs of both item
+// types and across rejects.
+func TestDecodeBorrowedMatchesDecodeFrame(t *testing.T) {
+	good64 := AppendFrame64(nil, []string{"alice", "bob", strings.Repeat("k", 300)}, []uint64{1, 1 << 60, 0})
+	goodStr := AppendFrameString(nil, []string{"k1", "k2"}, []string{"", "item-two"})
+	inputs := [][]byte{
+		good64,
+		goodStr,
+		AppendFrame64(nil, nil, nil),
+		appendFrameHeader(nil, frameItemsString, 0),
+		{},
+		good64[:9],
+		good64[:len(good64)-3],
+		append(append([]byte{}, goodStr...), 0xAB),
+		AppendFrame64(nil, []string{"ok", ""}, []uint64{1, 2}),
+	}
+	var f Frame // one reused borrowed frame across every input
+	for i, data := range inputs {
+		want, wantErr := DecodeFrame(data)
+		gotErr := f.DecodeBorrowed(data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("input %d: DecodeFrame err %v, DecodeBorrowed err %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Errorf("input %d: error %q vs %q", i, gotErr, wantErr)
+			}
+			continue
+		}
+		// Compare the public decode result; the unexported spare fields
+		// are reuse bookkeeping and legitimately differ on a reused frame.
+		if !reflect.DeepEqual(f.Keys, want.Keys) ||
+			!reflect.DeepEqual(f.Items64, want.Items64) ||
+			!reflect.DeepEqual(f.ItemsString, want.ItemsString) {
+			t.Errorf("input %d: borrowed frame differs:\n%+v\n%+v", i, f, *want)
+		}
+	}
+}
+
+// TestDecodeBorrowedAliases pins the zero-copy property itself (keys view
+// the input buffer) and the reuse hazard it implies: mutating the buffer
+// rewrites the decoded strings. This is the contract the store's
+// clone-on-materialize behavior exists to absorb.
+func TestDecodeBorrowedAliases(t *testing.T) {
+	data := AppendFrameString(nil, []string{"flow-a"}, []string{"item"})
+	var f Frame
+	if err := f.DecodeBorrowed(data); err != nil {
+		t.Fatal(err)
+	}
+	if f.Keys[0] != "flow-a" {
+		t.Fatalf("decoded key %q", f.Keys[0])
+	}
+	if unsafe.StringData(f.Keys[0]) != &data[11] {
+		t.Fatalf("borrowed key does not alias the input buffer")
+	}
+	data[11] = 'X'
+	if f.Keys[0] != "Xlow-a" {
+		t.Fatalf("key after buffer mutation = %q, want aliased view", f.Keys[0])
+	}
+}
+
+// TestFrameReleaseDropsReferences: a released frame keeps its slice
+// capacity but no string references into the last buffer.
+func TestFrameReleaseDropsReferences(t *testing.T) {
+	var f Frame
+	if err := f.DecodeBorrowed(AppendFrameString(nil, []string{"key"}, []string{"item"})); err != nil {
+		t.Fatal(err)
+	}
+	keepCap := cap(f.Keys)
+	f.Release()
+	if f.Records() != 0 || cap(f.Keys) != keepCap {
+		t.Fatalf("after Release: %d records, key cap %d (want 0, %d)", f.Records(), cap(f.Keys), keepCap)
+	}
+	for _, k := range f.Keys[:keepCap] {
+		if k != "" {
+			t.Fatalf("released frame retains key %q", k)
+		}
+	}
+}
+
+// TestIngestFrameAllocFree is the wire-speed contract of this package:
+// once the pooled scratch, the frame slices, and the store's keys are
+// warm, decode-borrowed + batch add + metrics performs zero heap
+// allocations per frame — for uint64 and for string items. This is the
+// exact per-message core the TCP listener runs.
+func TestIngestFrameAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	srv, err := New(Config{Spec: sbitmap.MustSpec("sbitmap:n=1e4,eps=0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 256)
+	items64 := make([]uint64, len(keys))
+	itemsS := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("flow-%04x", i*7)
+		items64[i] = uint64(i) * 0x9e37
+		itemsS[i] = fmt.Sprintf("ip-%d", i%50)
+	}
+	frame64 := AppendFrame64(nil, keys, items64)
+	frameStr := AppendFrameString(nil, keys, itemsS)
+
+	sc := ingestPool.Get().(*ingestScratch)
+	defer sc.release()
+	aff := uintptr(unsafe.Pointer(sc))
+	ingest := func(data []byte) {
+		if err := sc.frame.DecodeBorrowed(data); err != nil {
+			t.Fatal(err)
+		}
+		res := srv.AddFrame(&sc.frame)
+		srv.RecordIngest(aff, res.Records, res.Changed)
+	}
+	ingest(frame64) // warm: materialize keys, size the frame slices
+	ingest(frameStr)
+	if allocs := testing.AllocsPerRun(20, func() { ingest(frame64) }); allocs != 0 {
+		t.Errorf("uint64 frame ingest: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { ingest(frameStr) }); allocs != 0 {
+		t.Errorf("string frame ingest: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestHandleAddBorrowedKeysSurviveBufferReuse: end-to-end through the
+// HTTP handler, keys decoded zero-copy from one request's body must stay
+// intact after later requests reuse the pooled body buffer.
+func TestHandleAddBorrowedKeysSurviveBufferReuse(t *testing.T) {
+	srv, err := New(Config{Spec: sbitmap.MustSpec("sbitmap:n=1e4,eps=0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(body []byte) {
+		t.Helper()
+		req := httptest.NewRequest("POST", "/v1/add", bytes.NewReader(body))
+		req.Header.Set("Content-Type", FrameContentType)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("POST /v1/add: %d %s", rec.Code, rec.Body)
+		}
+	}
+	post(AppendFrame64(nil, []string{"keep-me"}, []uint64{42}))
+	// Same-size frame with different keys: forces the pooled body buffer
+	// (and borrowed frame) to be rewritten in place if reused.
+	for i := 0; i < 8; i++ {
+		post(AppendFrame64(nil, []string{fmt.Sprintf("other-%d", i)}, []uint64{uint64(i)}))
+	}
+	if _, ok := srv.Store().Estimate("keep-me"); !ok {
+		t.Fatal("key from first request lost after pooled buffer reuse")
+	}
+	found := false
+	srv.Store().ForEach(func(k string, _ sbitmap.Counter) bool {
+		if k == "keep-me" {
+			found = true
+		}
+		if len(k) > 0 && k[0] != 'k' && k[0] != 'o' {
+			t.Fatalf("corrupted stored key %q", k)
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("stored key set lost keep-me")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it (the detector makes sync.Pool drop
+// entries at random, so pooled paths legitimately re-allocate).
+const raceEnabled = true

@@ -43,8 +43,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	sbitmap "repro"
+	"repro/internal/pstats"
 )
 
 // DefaultMaxBodyBytes bounds /v1/add and /v1/merge request bodies when
@@ -105,11 +107,15 @@ type Server struct {
 	ckMu         sync.Mutex
 	restoredKeys int
 
-	// Live metrics, reported by /v1/stats.
-	addRequests    atomic.Int64
-	recordsTotal   atomic.Int64
-	changedTotal   atomic.Int64
-	queryRequests  atomic.Int64
+	// Live metrics, reported by /v1/stats. The ingest and query counters
+	// sit on every request's hot path and are sharded over padded cache
+	// lines (pstats) so concurrent connections do not serialize on a
+	// metrics word; the merge/checkpoint gauges are cold and stay plain
+	// atomics.
+	addRequests    pstats.Counter
+	recordsTotal   pstats.Counter
+	changedTotal   pstats.Counter
+	queryRequests  pstats.Counter
 	mergeRequests  atomic.Int64
 	mergedKeys     atomic.Int64
 	checkpoints    atomic.Int64
@@ -182,6 +188,10 @@ func (s *Server) Store() *sbitmap.Store[string] { return s.store }
 // RestoredKeys reports how many keys the start-time checkpoint restore
 // brought back (0 when starting fresh).
 func (s *Server) RestoredKeys() int { return s.restoredKeys }
+
+// MaxBodyBytes reports the configured ingest size limit, so alternative
+// transports (the TCP frame listener) enforce the same bound HTTP does.
+func (s *Server) MaxBodyBytes() int64 { return s.cfg.MaxBodyBytes }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -323,13 +333,98 @@ type ndjsonRecord struct {
 	Item string `json:"item"`
 }
 
+// ingestScratch is the pooled per-request state of the ingest path: the
+// body buffer, the decode-in-place frame, and the NDJSON record slices.
+// Pooling it makes a warm /v1/add frame request allocation-free through
+// read, decode, and batch add; its address doubles as the affinity value
+// sharding the metrics counters.
+type ingestScratch struct {
+	body  []byte
+	frame Frame
+	keys  []string
+	items []string
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// ingestBodyKeep bounds the body capacity a pooled scratch retains; one
+// oversized request must not pin tens of MiB in the pool forever.
+const ingestBodyKeep = 1 << 20
+
+// release drops every reference into request memory (the frame's
+// borrowed strings alias sc.body) and returns the scratch to the pool.
+// Slices are cleared through their full capacity: an error path may have
+// appended past the length the caller last assigned.
+func (sc *ingestScratch) release() {
+	if cap(sc.body) > ingestBodyKeep {
+		sc.body = nil
+	} else {
+		sc.body = sc.body[:0]
+	}
+	sc.frame.Release()
+	clear(sc.keys[:cap(sc.keys)])
+	clear(sc.items[:cap(sc.items)])
+	sc.keys, sc.items = sc.keys[:0], sc.items[:0]
+	ingestPool.Put(sc)
+}
+
+// readAllInto reads r to EOF appending into buf's capacity, returning
+// the filled slice — io.ReadAll with a caller-owned buffer, so a pooled
+// scratch's body survives across requests.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// AddFrame folds one decoded add frame into the store, dispatching on
+// the frame's item type exactly as POST /v1/add does. The frame may be
+// borrowed (zero-copy): the store's batch methods hash items immediately
+// and clone any key they retain, so the caller may reuse the backing
+// buffer as soon as AddFrame returns. Safe for concurrent use.
+func (s *Server) AddFrame(f *Frame) AddResult {
+	res := AddResult{Records: f.Records()}
+	if f.Items64 != nil {
+		res.Changed = s.store.AddBatch64(f.Keys, f.Items64)
+	} else {
+		res.Changed = s.store.AddBatchString(f.Keys, f.ItemsString)
+	}
+	return res
+}
+
+// RecordIngest folds one ingest call into the live metrics: an add
+// request, its record count, and its changed count. The TCP frame
+// listener calls it once per frame so /v1/stats reflects wire ingest
+// exactly as it does HTTP ingest. affinity shards the counters — pass a
+// stable per-connection or per-request pointer value.
+func (s *Server) RecordIngest(affinity uintptr, records, changed int) {
+	s.addRequests.Add(affinity, 1)
+	s.recordsTotal.Add(affinity, int64(records))
+	s.changedTotal.Add(affinity, int64(changed))
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	s.addRequests.Add(1)
+	sc := ingestPool.Get().(*ingestScratch)
+	defer sc.release()
+	aff := uintptr(unsafe.Pointer(sc))
+	s.addRequests.Add(aff, 1)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	// Read the whole body before parsing either format: a too-large body
 	// must report 413, not a parse error on the line or record the limit
 	// truncated.
-	data, err := io.ReadAll(body)
+	data, err := readAllInto(sc.body, body)
+	sc.body = data
 	if err != nil {
 		bodyReadError(w, err)
 		return
@@ -342,25 +437,19 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	var res AddResult
 	if mediaType == FrameContentType {
-		f, err := DecodeFrame(data)
-		if err != nil {
+		if err := sc.frame.DecodeBorrowed(data); err != nil {
 			writeError(w, http.StatusBadRequest, CodeBadFrame, "%v", err)
 			return
 		}
-		res.Records = f.Records()
-		if f.Items64 != nil {
-			res.Changed = s.store.AddBatch64(f.Keys, f.Items64)
-		} else {
-			res.Changed = s.store.AddBatchString(f.Keys, f.ItemsString)
-		}
+		res = s.AddFrame(&sc.frame)
 	} else {
-		var keys, items []string
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 64*1024), ndjsonMaxLine)
+		keys, items := sc.keys, sc.items
+		sc2 := bufio.NewScanner(bytes.NewReader(data))
+		sc2.Buffer(make([]byte, 0, 64*1024), ndjsonMaxLine)
 		line := 0
-		for sc.Scan() {
+		for sc2.Scan() {
 			line++
-			raw := bytes.TrimSpace(sc.Bytes())
+			raw := bytes.TrimSpace(sc2.Bytes())
 			if len(raw) == 0 {
 				continue
 			}
@@ -376,20 +465,21 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			keys = append(keys, rec.Key)
 			items = append(items, rec.Item)
 		}
-		if err := sc.Err(); err != nil {
+		sc.keys, sc.items = keys, items
+		if err := sc2.Err(); err != nil {
 			bodyReadError(w, err)
 			return
 		}
 		res.Records = len(keys)
 		res.Changed = s.store.AddBatchString(keys, items)
 	}
-	s.recordsTotal.Add(int64(res.Records))
-	s.changedTotal.Add(int64(res.Changed))
+	s.recordsTotal.Add(aff, int64(res.Records))
+	s.changedTotal.Add(aff, int64(res.Changed))
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	s.queryRequests.Add(1)
+	s.queryRequests.Add(uintptr(unsafe.Pointer(r)), 1)
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		writeError(w, http.StatusBadRequest, CodeMissingKey, "estimate needs a ?key= parameter")
@@ -404,7 +494,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.queryRequests.Add(1)
+	s.queryRequests.Add(uintptr(unsafe.Pointer(r)), 1)
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		v, err := strconv.Atoi(raw)

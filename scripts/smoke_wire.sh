@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the raw TCP wire-ingest path: start sketchd with
+# -tcp-addr, push pipelined SBF1 frames over the persistent connection,
+# verify the served estimates bit-identical against a local twin Store,
+# prove a corrupt frame poisons only its own connection, then kill -TERM
+# (final checkpoint), restart, and verify the estimates survived
+# bit-for-bit. Run from the repo root; CI runs this after building
+# cmd/sketchd.
+#
+#   ./scripts/smoke_wire.sh [path-to-sketchd-binary]
+set -euo pipefail
+
+BIN=${1:-./sketchd}
+ADDR=127.0.0.1:18291
+TCP=127.0.0.1:18292
+BASE=http://$ADDR
+SPEC="sbitmap:n=1e4,eps=0.1,seed=7"
+DIR=$(mktemp -d)
+PID=""
+cleanup() {
+  if [ -n "$PID" ]; then
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true # let the final checkpoint finish
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke-wire: server on $ADDR never became healthy" >&2
+  exit 1
+}
+
+start() {
+  "$BIN" -addr "$ADDR" -tcp-addr "$TCP" -spec "$SPEC" \
+    -checkpoint "$DIR/ckpt.bin" -checkpoint-interval 0 &
+  PID=$!
+  wait_healthy
+}
+
+echo "smoke-wire: starting sketchd with the wire listener on $TCP"
+start
+
+echo "smoke-wire: pushing pipelined frames over TCP, verifying against a local twin"
+go run ./scripts/wireclient -tcp "$TCP" -base "$BASE" -spec "$SPEC"
+
+echo "smoke-wire: corrupt frame must poison only its own connection"
+go run ./scripts/wireclient -tcp "$TCP" -garbage
+curl -fsS "$BASE/healthz" >/dev/null || { echo "smoke-wire: server died after bad frame" >&2; exit 1; }
+
+EST_A=$(curl -fsS "$BASE/v1/estimate?key=wire-00000")
+EST_B=$(curl -fsS "$BASE/v1/estimate?key=wire-00042")
+STATS=$(curl -fsS "$BASE/v1/stats")
+case "$STATS" in
+  *'"keys":64'*) ;;
+  *) echo "smoke-wire: unexpected stats: $STATS" >&2; exit 1 ;;
+esac
+echo "smoke-wire: wire-00000=$EST_A wire-00042=$EST_B"
+
+echo "smoke-wire: SIGTERM (writes the final checkpoint) and restart"
+kill -TERM "$PID"
+wait "$PID" || { echo "smoke-wire: sketchd exited non-zero on SIGTERM" >&2; exit 1; }
+PID=""
+[ -s "$DIR/ckpt.bin" ] || { echo "smoke-wire: no checkpoint written" >&2; exit 1; }
+start
+
+EST_A2=$(curl -fsS "$BASE/v1/estimate?key=wire-00000")
+EST_B2=$(curl -fsS "$BASE/v1/estimate?key=wire-00042")
+[ "$EST_A" = "$EST_A2" ] || { echo "smoke-wire: wire-00000 changed across restart: $EST_A vs $EST_A2" >&2; exit 1; }
+[ "$EST_B" = "$EST_B2" ] || { echo "smoke-wire: wire-00042 changed across restart: $EST_B vs $EST_B2" >&2; exit 1; }
+
+echo "smoke-wire: wire ingest continues after restore"
+go run ./scripts/wireclient -tcp "$TCP" -base "$BASE" -prefix post -nkeys 4 -spread 10
+STATS=$(curl -fsS "$BASE/v1/stats")
+case "$STATS" in
+  *'"keys":68'*) ;;
+  *) echo "smoke-wire: post-restart stats missing new keys: $STATS" >&2; exit 1 ;;
+esac
+
+echo "smoke-wire ok: estimates survived restart ($EST_A / $EST_B)"

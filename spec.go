@@ -343,6 +343,17 @@ func (s Spec) New() (Counter, error) {
 // newSBitmap dimensions an S-bitmap from exactly two of {N, Eps,
 // MemoryBits}, mirroring the sbdim calculator.
 func (s Spec) newSBitmap(opts []Option) (Counter, error) {
+	cfg, err := s.sbitmapConfig()
+	if err != nil {
+		return nil, err
+	}
+	return fromConfig(cfg, opts...)
+}
+
+// sbitmapConfig resolves the Spec's S-bitmap dimensioning — the pure math
+// of newSBitmap, shared with the arena allocator so a keyed Store computes
+// the Config once instead of once per materialized key.
+func (s Spec) sbitmapConfig() (*core.Config, error) {
 	given := 0
 	for _, set := range []bool{s.N > 0, s.Eps > 0, s.MemoryBits > 0} {
 		if set {
@@ -354,14 +365,10 @@ func (s Spec) newSBitmap(opts []Option) (Counter, error) {
 	}
 	switch {
 	case s.N > 0 && s.Eps > 0:
-		return New(s.N, s.Eps, opts...)
+		return core.NewConfigNE(s.N, s.Eps)
 	case s.MemoryBits > 0 && s.N > 0:
-		return NewWithMemory(s.MemoryBits, s.N, opts...)
+		return core.NewConfigMN(s.MemoryBits, s.N)
 	default: // MemoryBits + Eps: derive N from Equation (6) via C = 1 + ε⁻².
-		cfg, err := core.NewConfigMC(s.MemoryBits, 1+1/(s.Eps*s.Eps))
-		if err != nil {
-			return nil, err
-		}
-		return fromConfig(cfg, opts...)
+		return core.NewConfigMC(s.MemoryBits, 1+1/(s.Eps*s.Eps))
 	}
 }

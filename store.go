@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -40,12 +41,17 @@ type Store[K StoreKey] struct {
 	router  *uhash.Mixer
 	limit   int  // max keys (0 = unbounded)
 	isStr   bool // K's underlying type is string (cached keyIsString)
+	slab    bool // per-stripe arenas + shared scratch (WithSlabAllocator)
 	keys    atomic.Int64
 	onEvict func(K, Counter)
 
 	// newCounter is the per-key factory: Spec.New with the construction
 	// validated once in NewStore, so materialization cannot fail later.
 	newCounter func() Counter
+
+	// newArena builds a stripe's slab allocator; nil when the spec's kind
+	// has no arena or slab allocation is off (see WithSlabAllocator).
+	newArena func() counterArena
 
 	// scratch pools the routing/grouping buffers of in-flight batches.
 	scratch sync.Pool
@@ -58,11 +64,17 @@ type StoreKey interface {
 	~string | ~uint64
 }
 
-// storeStripe is one lock-striped segment of the key space.
+// storeStripe is one lock-striped segment of the key space. Beyond the
+// lock and map it owns the stripe's cold-path slab allocator and one hash
+// scratch lent to every per-key sketch's batch path (both guarded by mu),
+// so neither per-key state nor the ~4 KiB batch buffers are allocated per
+// key.
 type storeStripe[K StoreKey] struct {
-	mu sync.Mutex
-	m  map[K]Counter
-	_  [40]byte // pad to reduce false sharing between adjacent locks
+	mu    sync.Mutex
+	m     map[K]Counter
+	arena counterArena  // nil unless slab allocation is on
+	scr   uhash.Scratch // shared batch-hash buffers, under mu
+	_     [48]byte      // pad to reduce false sharing between adjacent locks
 }
 
 // StoreOption configures a Store at construction.
@@ -71,6 +83,7 @@ type StoreOption func(*storeConfig)
 type storeConfig struct {
 	stripes int
 	maxKeys int
+	noSlab  bool
 }
 
 // WithStripes sets the lock-stripe count (default 64). More stripes admit
@@ -86,6 +99,18 @@ func WithStripes(n int) StoreOption { return func(c *storeConfig) { c.stripes = 
 // Under concurrent ingest the bound can transiently overshoot by at
 // most the stripe count. 0 (the default) means unbounded.
 func WithMaxKeys(n int) StoreOption { return func(c *storeConfig) { c.maxKeys = n } }
+
+// WithSlabAllocator toggles the cold-path allocator (default on): per-key
+// sketch state is carved out of per-stripe slabs (identically specced
+// sketches are identically sized) and every sketch's batch path borrows
+// one per-stripe hash scratch instead of lazily allocating ~4 KiB each.
+// Estimates are bit-identical either way; the toggle exists for
+// before/after measurement (sbench -run keyed) and as an escape hatch.
+//
+// Slabs are never reclaimed slot-wise, so the arena half is automatically
+// disabled when WithMaxKeys eviction is active (evicted counters would
+// leak their slots); the shared-scratch half stays on.
+func WithSlabAllocator(on bool) StoreOption { return func(c *storeConfig) { c.noSlab = !on } }
 
 // storeDefaultStripes is the default lock-stripe count.
 const storeDefaultStripes = 64
@@ -121,6 +146,7 @@ func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
 		router:  uhash.NewMixer(seed ^ storeRouterSalt),
 		limit:   cfg.maxKeys,
 		isStr:   keyIsString[K](),
+		slab:    !cfg.noSlab,
 		newCounter: func() Counter {
 			c, err := spec.New()
 			if err != nil {
@@ -131,8 +157,22 @@ func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
 			return c
 		},
 	}
+	if s.slab && s.limit == 0 {
+		// Validated once here (the arena shares newSBitmap's dimensioning,
+		// already proven constructible above), so per-stripe arena
+		// construction cannot fail later.
+		if a, err := spec.newArena(); err == nil && a != nil {
+			s.newArena = func() counterArena {
+				a, _ := spec.newArena()
+				return a
+			}
+		}
+	}
 	for i := range s.stripes {
 		s.stripes[i].m = make(map[K]Counter)
+		if s.newArena != nil {
+			s.stripes[i].arena = s.newArena()
+		}
 	}
 	return s, nil
 }
@@ -184,7 +224,10 @@ func (s *Store[K]) stripeFor(key K) *storeStripe[K] {
 }
 
 // counterLocked returns key's counter, materializing (and, at the key
-// limit, evicting) under the stripe lock the caller holds.
+// limit, evicting) under the stripe lock the caller holds. A string key
+// is cloned on materialization: the map must own its key storage, because
+// zero-copy ingest paths (the wire listener) pass keys aliasing reusable
+// frame buffers. Lookups of already-live keys never clone.
 func (s *Store[K]) counterLocked(st *storeStripe[K], key K) Counter {
 	if c, ok := st.m[key]; ok {
 		return c
@@ -192,7 +235,15 @@ func (s *Store[K]) counterLocked(st *storeStripe[K], key K) Counter {
 	if s.limit > 0 && int(s.keys.Load()) >= s.limit {
 		s.evictOneLocked(st, key)
 	}
-	c := s.newCounter()
+	var c Counter
+	if st.arena != nil {
+		c = st.arena.next()
+	} else {
+		c = s.newCounter()
+	}
+	if s.isStr {
+		key = keyFromString[K](strings.Clone(keyString(key)))
+	}
 	st.m[key] = c
 	s.keys.Add(1)
 	return c
@@ -371,12 +422,43 @@ func (s *Store[K]) group(sc *storeScratch[K], keys []K) (counts, offs []int) {
 // Long runs amortize that and win on fused hashing.
 const storeRunBatchMin = 64
 
-// drainStripes visits every stripe holding part of a grouped batch,
-// opportunistically (TryLock sweeps, like Sharded's batch path) so
-// concurrent batches fan out across stripes instead of convoying; a sweep
-// finding every pending stripe busy blocks on the first. counts is
-// consumed. ingest runs with the stripe locked.
-func (s *Store[K]) drainStripes(counts, offs []int, ingest func(st *storeStripe[K], start, end int) int) int {
+// AddBatch64 offers record i's item items[i] to key keys[i]'s counter,
+// for the whole batch, and returns how many offers changed counter state.
+// One batched hash pass routes every key, a counting sort groups records
+// stripe-contiguously (original order preserved within each stripe), and
+// each touched stripe's lock is taken once per batch. Within a stripe,
+// maximal runs of adjacent same-key records share one map lookup, and
+// long runs (≥64 records — exporter flushes, hot keys) go through the
+// counter's BulkAdder fast path, hashing through the stripe's shared
+// scratch. Stripes are drained opportunistically (TryLock sweeps, like
+// Sharded's batch path) so concurrent batches fan out across stripes
+// instead of convoying; a sweep finding every pending stripe busy blocks
+// on the first.
+//
+// State-equivalent to calling AddUint64(keys[i], items[i]) in slice
+// order: records are never reordered within a key (or at all within a
+// stripe), so the resulting counters are bit-identical. The store clones
+// any string key it materializes, so callers may reuse the keys' backing
+// memory (a decoded frame buffer) across calls. Steady-state batches
+// allocate nothing. Safe for concurrent use. Panics if the slices'
+// lengths differ.
+func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("sbitmap: Store.AddBatch64 with %d keys and %d items", len(keys), len(items)))
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	sc := s.getScratch(len(keys))
+	defer s.putScratch(sc)
+	counts, offs := s.group(sc, keys)
+	if cap(sc.buf64) < len(items) {
+		sc.buf64 = make([]uint64, len(items))
+	}
+	// The TryLock drain sweep, written out per item type (here and in
+	// AddBatchString) rather than shared through function values: closures
+	// capturing the batch state would cost an allocation per call, and the
+	// wire listener's decode+add path must stay allocation-free.
 	changed := 0
 	pending := 0
 	for _, c := range counts {
@@ -394,7 +476,7 @@ func (s *Store[K]) drainStripes(counts, offs []int, ingest func(st *storeStripe[
 			if !st.mu.TryLock() {
 				continue
 			}
-			changed += ingest(st, offs[i]-c, offs[i])
+			changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items)
 			st.mu.Unlock()
 			counts[i] = 0
 			pending--
@@ -407,7 +489,7 @@ func (s *Store[K]) drainStripes(counts, offs []int, ingest func(st *storeStripe[
 				}
 				st := &s.stripes[i]
 				st.mu.Lock()
-				changed += ingest(st, offs[i]-c, offs[i])
+				changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items)
 				st.mu.Unlock()
 				counts[i] = 0
 				pending--
@@ -416,44 +498,6 @@ func (s *Store[K]) drainStripes(counts, offs []int, ingest func(st *storeStripe[
 		}
 	}
 	return changed
-}
-
-// AddBatch64 offers record i's item items[i] to key keys[i]'s counter,
-// for the whole batch, and returns how many offers changed counter state.
-// One batched hash pass routes every key, a counting sort groups records
-// stripe-contiguously (original order preserved within each stripe), and
-// each touched stripe's lock is taken once per batch. Within a stripe,
-// maximal runs of adjacent same-key records share one map lookup, and
-// long runs (≥64 records — exporter flushes, hot keys) go through the
-// counter's BulkAdder fast path.
-//
-// State-equivalent to calling AddUint64(keys[i], items[i]) in slice
-// order: records are never reordered within a key (or at all within a
-// stripe), so the resulting counters are bit-identical. Safe for
-// concurrent use. Panics if the slices' lengths differ.
-func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
-	if len(keys) != len(items) {
-		panic(fmt.Sprintf("sbitmap: Store.AddBatch64 with %d keys and %d items", len(keys), len(items)))
-	}
-	if len(keys) == 0 {
-		return 0
-	}
-	sc := s.getScratch(len(keys))
-	defer s.putScratch(sc)
-	counts, offs := s.group(sc, keys)
-	if cap(sc.buf64) < len(items) {
-		sc.buf64 = make([]uint64, len(items))
-	}
-	return s.ingestGrouped(sc, counts, offs,
-		func(c Counter, pos int) bool { return c.AddUint64(items[pos]) },
-		func(c Counter, seg []storeRec[K]) int {
-			// BulkAdder needs the run's items contiguous; gather them.
-			buf := sc.buf64[:len(seg)]
-			for i, r := range seg {
-				buf[i] = items[r.pos]
-			}
-			return AddBatch64(c, buf)
-		})
 }
 
 // AddBatchString is AddBatch64 for string items; see AddBatch64 for the
@@ -471,48 +515,129 @@ func (s *Store[K]) AddBatchString(keys []K, items []string) int {
 	if cap(sc.bufS) < len(items) {
 		sc.bufS = make([]string, len(items))
 	}
-	return s.ingestGrouped(sc, counts, offs,
-		func(c Counter, pos int) bool { return c.AddString(items[pos]) },
-		func(c Counter, seg []storeRec[K]) int {
-			buf := sc.bufS[:len(seg)]
-			for i, r := range seg {
-				buf[i] = items[r.pos]
+	changed := 0
+	pending := 0
+	for _, c := range counts {
+		if c > 0 {
+			pending++
+		}
+	}
+	for pending > 0 {
+		progressed := false
+		for i, c := range counts {
+			if c == 0 {
+				continue
 			}
-			return AddBatchString(c, buf)
-		})
+			st := &s.stripes[i]
+			if !st.mu.TryLock() {
+				continue
+			}
+			changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items)
+			st.mu.Unlock()
+			counts[i] = 0
+			pending--
+			progressed = true
+		}
+		if !progressed {
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				st := &s.stripes[i]
+				st.mu.Lock()
+				changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items)
+				st.mu.Unlock()
+				counts[i] = 0
+				pending--
+				break
+			}
+		}
+	}
+	return changed
 }
 
-// ingestGrouped is the shared body of the keyed batch methods: drain the
-// grouped batch stripe by stripe, split each stripe's segment into
-// maximal adjacent same-key runs, materialize each run's counter once,
-// and dispatch the run — addOne per record below storeRunBatchMin,
-// addRun (the BulkAdder path, with its own gather) at or above it.
-func (s *Store[K]) ingestGrouped(sc *storeScratch[K], counts, offs []int,
-	addOne func(c Counter, pos int) bool,
-	addRun func(c Counter, seg []storeRec[K]) int,
-) int {
-	return s.drainStripes(counts, offs, func(st *storeStripe[K], start, end int) int {
-		seg := sc.recs[start:end]
-		changed := 0
-		for j := 0; j < len(seg); {
-			k := j + 1
-			for k < len(seg) && seg[k].key == seg[j].key {
-				k++
-			}
-			c := s.counterLocked(st, seg[j].key)
-			if k-j < storeRunBatchMin {
-				for _, r := range seg[j:k] {
-					if addOne(c, r.pos) {
-						changed++
-					}
-				}
-			} else {
-				changed += addRun(c, seg[j:k])
-			}
-			j = k
+// ingest64Locked feeds one stripe's grouped segment to its counters, with
+// the stripe locked: split into maximal adjacent same-key runs,
+// materialize each run's counter once, loop per-item Adds below
+// storeRunBatchMin and take the batch path (gathering the run's items
+// contiguously first) at or above it.
+func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []uint64) int {
+	seg := sc.recs[start:end]
+	changed := 0
+	for j := 0; j < len(seg); {
+		k := j + 1
+		for k < len(seg) && seg[k].key == seg[j].key {
+			k++
 		}
-		return changed
-	})
+		c := s.counterLocked(st, seg[j].key)
+		if k-j < storeRunBatchMin {
+			for _, r := range seg[j:k] {
+				if c.AddUint64(items[r.pos]) {
+					changed++
+				}
+			}
+		} else {
+			buf := sc.buf64[:k-j]
+			for i, r := range seg[j:k] {
+				buf[i] = items[r.pos]
+			}
+			changed += s.addRun64(st, c, buf)
+		}
+		j = k
+	}
+	return changed
+}
+
+// ingestStringLocked is ingest64Locked for string items.
+func (s *Store[K]) ingestStringLocked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []string) int {
+	seg := sc.recs[start:end]
+	changed := 0
+	for j := 0; j < len(seg); {
+		k := j + 1
+		for k < len(seg) && seg[k].key == seg[j].key {
+			k++
+		}
+		c := s.counterLocked(st, seg[j].key)
+		if k-j < storeRunBatchMin {
+			for _, r := range seg[j:k] {
+				if c.AddString(items[r.pos]) {
+					changed++
+				}
+			}
+		} else {
+			buf := sc.bufS[:k-j]
+			for i, r := range seg[j:k] {
+				buf[i] = items[r.pos]
+			}
+			changed += s.addRunString(st, c, buf)
+		}
+		j = k
+	}
+	return changed
+}
+
+// addRun64 dispatches one key's long run: when the slab allocator is on
+// and the counter's batch path can borrow scratch, it hashes through the
+// stripe's shared buffers (so a tiny per-key sketch never lazily allocates
+// its own ~4 KiB); otherwise the counter's ordinary BulkAdder path. The
+// resulting sketch state is bit-identical either way.
+func (s *Store[K]) addRun64(st *storeStripe[K], c Counter, buf []uint64) int {
+	if s.slab {
+		if sa, ok := c.(scratchBulkAdder); ok {
+			return sa.addBatch64Scratch(&st.scr, buf)
+		}
+	}
+	return AddBatch64(c, buf)
+}
+
+// addRunString is addRun64 for string items.
+func (s *Store[K]) addRunString(st *storeStripe[K], c Counter, buf []string) int {
+	if s.slab {
+		if sa, ok := c.(scratchBulkAdder); ok {
+			return sa.addBatchStringScratch(&st.scr, buf)
+		}
+	}
+	return AddBatchString(c, buf)
 }
 
 // Estimate returns key's distinct-count estimate; ok is false if the key
@@ -653,6 +778,7 @@ func (s *Store[K]) Footprint() int {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
+		total += st.scr.Footprint()
 		total += len(st.m) * (int(unsafe.Sizeof(zero)) + storeEntryOverhead)
 		for k, c := range st.m {
 			if isStr {

@@ -1,0 +1,172 @@
+package sbitmap
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+)
+
+// TestStoreSlabEquivalence is the slab allocator's safety rail: the same
+// records through a slab-allocated store and a WithSlabAllocator(false)
+// store must marshal to identical bytes — arena-materialized counters and
+// stripe-shared scratch change where state lives, never what it is. The
+// workload mixes scattered singleton runs (arena path) with long same-key
+// runs (borrowed-scratch batch path) and crosses several slab chunk
+// growths.
+func TestStoreSlabEquivalence(t *testing.T) {
+	keys, items := keyedWorkload(1500, 20000, 11)
+	// Append a few long single-key runs so runs ≥ storeRunBatchMin take
+	// the scratch-borrowing batch path.
+	for run := 0; run < 4; run++ {
+		k := keys[run*7]
+		for i := 0; i < 2*storeRunBatchMin; i++ {
+			keys = append(keys, k)
+			items = append(items, uint64(run)<<32|uint64(i%40))
+		}
+	}
+	strKeys := make([]string, len(keys))
+	strItems := make([]string, len(items))
+	for i := range keys {
+		strKeys[i] = fmt.Sprintf("key-%x", keys[i])
+		strItems[i] = fmt.Sprintf("item-%x", items[i])
+	}
+	spec := MustSpec("sbitmap:n=1e4,eps=0.1,seed=3")
+
+	t.Run("uint64", func(t *testing.T) {
+		slab, err := NewStore[uint64](spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewStore[uint64](spec, WithSlabAllocator(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(keys); i += 777 { // uneven batch sizes
+			end := min(i+777, len(keys))
+			slab.AddBatch64(keys[i:end], items[i:end])
+		}
+		for i := range keys {
+			plain.AddUint64(keys[i], items[i])
+		}
+		assertStoresIdentical(t, slab, plain)
+	})
+
+	t.Run("string", func(t *testing.T) {
+		slab, err := NewStore[string](spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewStore[string](spec, WithSlabAllocator(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab.AddBatchString(strKeys, strItems)
+		plain.AddBatchString(strKeys, strItems)
+		assertStoresIdentical(t, slab, plain)
+	})
+}
+
+// TestStoreSlabEvictionDisablesArena: WithMaxKeys eviction may drop
+// counters at any time, and arena slots are never reclaimed — so a
+// bounded store must fall back to heap materialization while keeping the
+// shared-scratch half of the optimization. Observable contract: the
+// bound holds and counting stays correct.
+func TestStoreSlabEvictionDisablesArena(t *testing.T) {
+	s, err := NewStore[uint64](MustSpec("sbitmap:n=1e4,eps=0.1"), WithMaxKeys(64), WithStripes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.stripes {
+		if s.stripes[i].arena != nil {
+			t.Fatalf("stripe %d has an arena despite WithMaxKeys eviction", i)
+		}
+	}
+	keys, items := keyedWorkload(500, 8000, 5)
+	s.AddBatch64(keys, items)
+	if got := s.Len(); got > 64+4 { // limit + stripe-count transient overshoot
+		t.Fatalf("Len() = %d, want ≤ 68", got)
+	}
+}
+
+// TestStoreClonesMaterializedStringKeys: zero-copy ingest paths hand the
+// store keys aliasing a reusable frame buffer; the store must not retain
+// that memory. Mutating the caller's backing bytes after ingest must not
+// corrupt the stored keys.
+func TestStoreClonesMaterializedStringKeys(t *testing.T) {
+	for _, slab := range []bool{true, false} {
+		t.Run(fmt.Sprintf("slab=%v", slab), func(t *testing.T) {
+			s, err := NewStore[string](MustSpec("sbitmap:n=1e4,eps=0.1"), WithSlabAllocator(slab))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := []byte("flow-a")
+			alias := unsafe.String(&buf[0], len(buf)) // what a zero-copy decoder produces
+			s.AddBatchString([]string{alias}, []string{"x"})
+			s.AddString(alias, "y")
+			copy(buf, "QQQQQQ") // the wire listener reusing its frame buffer
+			if _, ok := s.Estimate("flow-a"); !ok {
+				t.Fatalf("key flow-a lost after caller reused the key's backing bytes")
+			}
+			if _, ok := s.Estimate("QQQQQQ"); ok {
+				t.Fatalf("store retained the caller's mutable backing bytes as a key")
+			}
+			s.ForEach(func(k string, _ Counter) bool {
+				if k != "flow-a" {
+					t.Fatalf("stored key %q, want %q", k, "flow-a")
+				}
+				return true
+			})
+		})
+	}
+}
+
+// TestStoreBatchIngestAllocFree pins the steady-state contract the wire
+// listener's decode+add path depends on: once a store's keys and scratch
+// are warm, keyed batch ingest performs zero heap allocations — for
+// scattered batches and for long runs through the borrowed-scratch
+// BulkAdder path alike.
+func TestStoreBatchIngestAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+	nKeys := 256
+	keys := make([]uint64, 0, nKeys+2*storeRunBatchMin)
+	items := make([]uint64, 0, cap(keys))
+	for i := 0; i < nKeys; i++ {
+		keys = append(keys, uint64(i)*0x9e37+1)
+		items = append(items, uint64(i))
+	}
+	for i := 0; i < 2*storeRunBatchMin; i++ { // one long run: scratch path
+		keys = append(keys, keys[0])
+		items = append(items, uint64(i))
+	}
+	strKeys := make([]string, len(keys))
+	strItems := make([]string, len(items))
+	for i := range keys {
+		strKeys[i] = fmt.Sprintf("key-%x", keys[i])
+		strItems[i] = fmt.Sprintf("item-%x", items[i])
+	}
+
+	s64, err := NewStore[uint64](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64.AddBatch64(keys, items) // materialize keys, warm scratch + pools
+	if allocs := testing.AllocsPerRun(10, func() {
+		s64.AddBatch64(keys, items)
+	}); allocs != 0 {
+		t.Errorf("warm Store.AddBatch64: %.1f allocs/op, want 0", allocs)
+	}
+
+	sStr, err := NewStore[string](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStr.AddBatchString(strKeys, strItems)
+	if allocs := testing.AllocsPerRun(10, func() {
+		sStr.AddBatchString(strKeys, strItems)
+	}); allocs != 0 {
+		t.Errorf("warm Store.AddBatchString: %.1f allocs/op, want 0", allocs)
+	}
+}
