@@ -23,12 +23,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
 	sbitmap "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -43,6 +45,12 @@ const (
 
 	serverPerItemRecords = 20_000 // per-item mode: one HTTP request per record
 	serverQueries        = 2_000
+
+	// Durability phase: enough stripes that "dirty stripes" is a
+	// fine-grained fraction of the store, enough records that the full
+	// checkpoint dwarfs the incremental ones.
+	serverDurStripes = 1024
+	serverDurRecords = 1 << 18 // 262144
 )
 
 type serverResult struct {
@@ -80,6 +88,26 @@ type serverReport struct {
 		Keys           int `json:"keys"`
 		FootprintBytes int `json:"footprint_bytes"`
 	} `json:"store"`
+	Durability struct {
+		Stripes     int             `json:"stripes"`
+		Records     int             `json:"records"`
+		FsyncPolicy string          `json:"fsync_policy"`
+		Checkpoints []durabilityRow `json:"checkpoints"`
+		WALReplayed int             `json:"wal_records_replayed"`
+		RecoveryMs  float64         `json:"recovery_ms"`
+		Verified    bool            `json:"recovered_bit_identical"`
+	} `json:"durability"`
+}
+
+// durabilityRow is one checkpoint pass: how many stripes ingest dirtied
+// since the previous pass, and what the pass cost on disk and on the
+// clock. The incremental rows' checkpoint_bytes scaling with
+// dirty_stripes (not with the key population) is the claim under test.
+type durabilityRow struct {
+	Pass            string  `json:"pass"`
+	DirtyStripes    int     `json:"dirty_stripes"`
+	CheckpointBytes int     `json:"checkpoint_bytes"`
+	CheckpointMs    float64 `json:"checkpoint_ms"`
 }
 
 // serverWorkload pre-generates the full record sequence: per-key spreads
@@ -171,7 +199,7 @@ func runServer(jsonPath string, seed uint64) error {
 	keys, items, _ := serverWorkload(seed)
 	ctx := context.Background()
 
-	report := serverReport{Schema: "sbitmap-server/v1"}
+	report := serverReport{Schema: "sbitmap-server/v2"}
 	report.Config.Keys = serverKeys
 	report.Config.Records = len(items)
 	report.Config.BatchLen = serverBatch
@@ -352,6 +380,16 @@ func runServer(jsonPath string, seed uint64) error {
 	fmt.Printf("store: %d keys, %d bytes resident; frame and tcp ingest bit-identical to local store over %d keys\n",
 		stats.Keys, stats.FootprintBytes, checked)
 
+	// Release the heavy frame-pass store before the durability phase
+	// stands up its own server.
+	frameHTTP.Close()
+	frameHTTP = nil
+	frameSrv, frameClient, local = nil, nil, nil
+	runtime.GC()
+	if err := runServerDurability(&report, spec, keys, items); err != nil {
+		return err
+	}
+
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -362,5 +400,124 @@ func runServer(jsonPath string, seed uint64) error {
 		}
 		fmt.Printf("(json: %s)\n", jsonPath)
 	}
+	return nil
+}
+
+// runServerDurability measures the durability chain: ingest through the
+// WAL (fsync always — every frame durable before its ack), a full
+// checkpoint, then incremental checkpoints after touching 1, 16, and 128
+// keys (their cost must track the dirty stripes, not the 100k+ key
+// population), then a crash — the server abandoned mid-flight, like a
+// kill -9 — and a timed recovery that must be bit-identical to a twin
+// store fed the same records.
+func runServerDurability(report *serverReport, spec sbitmap.Spec, keys []string, items []uint64) error {
+	base, err := os.MkdirTemp("", "sbench-durability-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+	cfg := server.Config{
+		Spec:          spec,
+		Stripes:       serverDurStripes,
+		CheckpointDir: filepath.Join(base, "ckpt"),
+		WALDir:        filepath.Join(base, "wal"),
+		FsyncPolicy:   wal.FsyncAlways,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	twin, err := sbitmap.NewStore[string](spec, sbitmap.WithStripes(serverDurStripes))
+	if err != nil {
+		return err
+	}
+	var f server.Frame
+	defer f.Release()
+	ingest := func(k []string, it []uint64) error {
+		for i := 0; i < len(k); i += serverBatch {
+			end := min(i+serverBatch, len(k))
+			raw := server.AppendFrame64(nil, k[i:end], it[i:end])
+			if err := f.DecodeBorrowed(raw); err != nil {
+				return err
+			}
+			if _, err := srv.IngestFrame(raw, &f); err != nil {
+				return err
+			}
+			twin.AddBatch64(k[i:end], it[i:end])
+		}
+		return nil
+	}
+
+	n := min(serverDurRecords, len(keys)/2)
+	if err := ingest(keys[:n], items[:n]); err != nil {
+		return err
+	}
+
+	report.Durability.Stripes = serverDurStripes
+	report.Durability.FsyncPolicy = "always"
+	checkpoint := func(pass string) error {
+		info, err := srv.Checkpoint()
+		if err != nil {
+			return err
+		}
+		report.Durability.Checkpoints = append(report.Durability.Checkpoints, durabilityRow{
+			Pass:            pass,
+			DirtyStripes:    info.StripesWritten,
+			CheckpointBytes: info.Bytes,
+			CheckpointMs:    info.Seconds * 1e3,
+		})
+		return nil
+	}
+	if err := checkpoint("full"); err != nil {
+		return err
+	}
+
+	// Incremental passes: touch a handful of keys, checkpoint, repeat. The
+	// touched keys pick distinct counters spread over the stripe space.
+	for _, dirty := range []int{1, 16, 128} {
+		tk := make([]string, 0, dirty)
+		ti := make([]uint64, 0, dirty)
+		for j := 0; j < dirty; j++ {
+			tk = append(tk, fmt.Sprintf("user-%06x", (j*977)%serverKeys))
+			ti = append(ti, xrand.Mix64(0xd00d0000|uint64(dirty)<<16|uint64(j)))
+		}
+		if err := ingest(tk, ti); err != nil {
+			return err
+		}
+		if err := checkpoint(fmt.Sprintf("dirty-%d", dirty)); err != nil {
+			return err
+		}
+	}
+
+	// A WAL tail past the newest checkpoint, then the crash: abandon the
+	// server without Close (nothing flushes on a kill -9 either — fsync
+	// always already made every ack durable) and time the cold start.
+	tail := min(4*serverBatch, len(keys)-n)
+	if err := ingest(keys[n:n+tail], items[n:n+tail]); err != nil {
+		return err
+	}
+	report.Durability.Records = n + tail
+	t0 := time.Now()
+	srv2, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	report.Durability.RecoveryMs = float64(time.Since(t0).Microseconds()) / 1e3
+	report.Durability.WALReplayed = srv2.ReplayedRecords()
+	_, identical := estimatesMatch(twin, srv2)
+	report.Durability.Verified = identical
+	srv2.Close()
+	if !identical {
+		return fmt.Errorf("server: recovered store differs from the twin fed the acked records")
+	}
+
+	fmt.Printf("\ndurability: WAL fsync=always, incremental checkpoints over %d stripes, %d records\n",
+		serverDurStripes, report.Durability.Records)
+	fmt.Printf("%-10s %14s %17s %9s\n", "pass", "dirty stripes", "checkpoint bytes", "ms")
+	for _, row := range report.Durability.Checkpoints {
+		fmt.Printf("%-10s %14d %17d %9.1f\n", row.Pass, row.DirtyStripes, row.CheckpointBytes, row.CheckpointMs)
+	}
+	fmt.Printf("recovery: manifest restore + %d WAL records replayed in %.1f ms; bit-identical to twin: %v\n",
+		report.Durability.WALReplayed, report.Durability.RecoveryMs, identical)
 	return nil
 }

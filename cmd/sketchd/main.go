@@ -7,8 +7,10 @@
 // Usage:
 //
 //	sketchd -spec "sbitmap:n=1e6,eps=0.01" -addr :8287
-//	sketchd -spec "hll:mbits=4096" -checkpoint /var/lib/sketchd/ckpt.bin \
+//	sketchd -spec "hll:mbits=4096" -checkpoint /var/lib/sketchd/ckpt \
 //	        -checkpoint-interval 30s -maxkeys 2000000
+//	sketchd -checkpoint /var/lib/sketchd/ckpt -wal-dir /var/lib/sketchd/wal \
+//	        -fsync interval -max-durability-lag 5s
 //	sketchd -addr :8287 -tcp-addr :8288          # raw TCP frame ingest
 //	sketchd -addr :8287 -pprof-addr 127.0.0.1:6060
 //
@@ -18,10 +20,15 @@
 // -pprof-addr, net/http/pprof is served on its own listener (keep it on
 // loopback).
 //
-// With -checkpoint, the store is restored from the named snapshot on
-// start (if present) and written back atomically on the interval, on
-// POST /v1/checkpoint, and on SIGTERM/SIGINT — so a restarted server
-// resumes counting with the estimates it went down with.
+// With -checkpoint, the named directory holds incremental snapshots —
+// per-stripe files under a manifest, only the stripes dirtied since the
+// previous pass rewritten — restored on start and written on the
+// interval, on POST /v1/checkpoint, and on SIGTERM/SIGINT. With
+// -wal-dir, every ingest mutation is additionally appended to a
+// write-ahead log before its ack (-fsync picks the always/interval/never
+// durability point) and the log tail is replayed on top of the restored
+// checkpoint — so a crashed-and-restarted server resumes with exactly
+// the records it acked, not just the last checkpoint.
 //
 // Cluster mode (see internal/cluster): N sketchd processes become one
 // logical service. Start every node with the same -spec (seed included)
@@ -67,6 +74,7 @@ import (
 	sbitmap "repro"
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -96,8 +104,13 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		addr     = fs.String("addr", "127.0.0.1:8287", "listen address (host:port; :0 picks a free port)")
 		tcpAddr  = fs.String("tcp-addr", "", "raw TCP ingest listen address for length-prefixed add frames (empty = disabled)")
 		pprofAdr = fs.String("pprof-addr", "", "net/http/pprof listen address (empty = disabled; never expose publicly)")
-		ckPath   = fs.String("checkpoint", "", "checkpoint file: restored on start, written periodically and on shutdown")
+		ckDir    = fs.String("checkpoint", "", "checkpoint directory: manifest + per-stripe snapshots, restored on start, written periodically and on shutdown")
 		interval = fs.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval (0 disables the timer; needs -checkpoint)")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory: every ingest is appended before its ack and replayed on restart (empty = disabled)")
+		fsyncStr = fs.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+		fsyncInt = fs.Duration("fsync-interval", 0, "max age of unsynced WAL bytes under -fsync interval (0 = 100ms default)")
+		walSeg   = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 64 MiB default)")
+		maxLag   = fs.Duration("max-durability-lag", 0, "degrade /v1/healthz to 503 when acked-but-not-durable data is older than this (0 = never)")
 		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
 		stripes  = fs.Int("stripes", 0, "store lock-stripe count (0 = library default)")
 		maxBody  = fs.Int64("max-body", 0, "request body limit in bytes (0 = 32 MiB default)")
@@ -118,6 +131,19 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 	}
 	if *interval < 0 {
 		return config{}, fmt.Errorf("-checkpoint-interval %v is negative", *interval)
+	}
+	policy, err := wal.ParsePolicy(*fsyncStr)
+	if err != nil {
+		return config{}, fmt.Errorf("-fsync: %w", err)
+	}
+	if *fsyncInt < 0 {
+		return config{}, fmt.Errorf("-fsync-interval %v is negative", *fsyncInt)
+	}
+	if *walSeg < 0 {
+		return config{}, fmt.Errorf("-wal-segment-bytes %d is negative", *walSeg)
+	}
+	if *maxLag < 0 {
+		return config{}, fmt.Errorf("-max-durability-lag %v is negative", *maxLag)
 	}
 	switch *role {
 	case "", server.RoleStandalone, server.RoleAggregator:
@@ -156,12 +182,17 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		tcpAddr:   *tcpAddr,
 		pprofAddr: *pprofAdr,
 		server: server.Config{
-			Spec:           spec,
-			MaxKeys:        *maxKeys,
-			Stripes:        *stripes,
-			CheckpointPath: *ckPath,
-			MaxBodyBytes:   *maxBody,
-			Cluster:        clusterInfo,
+			Spec:             spec,
+			MaxKeys:          *maxKeys,
+			Stripes:          *stripes,
+			CheckpointDir:    *ckDir,
+			WALDir:           *walDir,
+			FsyncPolicy:      policy,
+			FsyncInterval:    *fsyncInt,
+			WALSegmentBytes:  *walSeg,
+			MaxDurabilityLag: *maxLag,
+			MaxBodyBytes:     *maxBody,
+			Cluster:          clusterInfo,
 		},
 		interval:     *interval,
 		pushInterval: *pushIntv,
@@ -191,7 +222,10 @@ func run(args []string, stderr *os.File) int {
 	}
 	logger.Printf("serving spec %s on http://%s", cfg.server.Spec, ln.Addr())
 	if n := srv.RestoredKeys(); n > 0 {
-		logger.Printf("restored %d keys from checkpoint %s", n, cfg.server.CheckpointPath)
+		logger.Printf("restored %d keys from checkpoint %s", n, cfg.server.CheckpointDir)
+	}
+	if n := srv.ReplayedRecords(); n > 0 {
+		logger.Printf("replayed %d WAL records from %s", n, cfg.server.WALDir)
 	}
 
 	// Raw TCP ingest: the same SBF1 frames as POST /v1/add, length-prefixed
@@ -234,7 +268,7 @@ func run(args []string, stderr *os.File) int {
 	// Periodic checkpoints, serialized against the shutdown checkpoint by
 	// the server itself; one failed write is logged, not fatal (the next
 	// tick retries, and the previous checkpoint is still intact).
-	if cfg.server.CheckpointPath != "" && cfg.interval > 0 {
+	if cfg.server.CheckpointDir != "" && cfg.interval > 0 {
 		go func() {
 			tick := time.NewTicker(cfg.interval)
 			defer tick.Stop()
@@ -303,13 +337,20 @@ func run(args []string, stderr *os.File) int {
 			logger.Printf("final snapshot push: %d keys -> %s", res.KeysMerged, cfg.server.Cluster.Aggregator)
 		}
 	}
-	if cfg.server.CheckpointPath != "" {
+	if cfg.server.CheckpointDir != "" {
 		info, err := srv.Checkpoint()
 		if err != nil {
 			logger.Printf("final checkpoint: %v", err)
 			return 1
 		}
-		logger.Printf("final checkpoint: %d keys, %d bytes -> %s", info.Keys, info.Bytes, info.Path)
+		logger.Printf("final checkpoint: %d keys, %d bytes (%d stripes) -> %s",
+			info.Keys, info.Bytes, info.StripesWritten, info.Path)
+	}
+	// Flush and close the WAL last: the final checkpoint above already
+	// truncated what it covers, and Close syncs any tail appends.
+	if err := srv.Close(); err != nil {
+		logger.Printf("wal close: %v", err)
+		return 1
 	}
 	return 0
 }

@@ -3,14 +3,18 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func TestParseFlags(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-spec", "hll:mbits=4096,seed=7", "-addr", "127.0.0.1:0",
-		"-checkpoint", "/tmp/ck.bin", "-checkpoint-interval", "5s",
+		"-checkpoint", "/tmp/ck", "-checkpoint-interval", "5s",
+		"-wal-dir", "/tmp/wal", "-fsync", "always", "-fsync-interval", "50ms",
+		"-wal-segment-bytes", "4096", "-max-durability-lag", "5s",
 		"-maxkeys", "100", "-stripes", "8", "-max-body", "1024",
 	}, nil)
 	if err != nil {
@@ -19,10 +23,15 @@ func TestParseFlags(t *testing.T) {
 	if cfg.server.Spec.String() != "hll:mbits=4096,seed=7" {
 		t.Errorf("spec = %s", cfg.server.Spec)
 	}
-	if cfg.addr != "127.0.0.1:0" || cfg.server.CheckpointPath != "/tmp/ck.bin" ||
+	if cfg.addr != "127.0.0.1:0" || cfg.server.CheckpointDir != "/tmp/ck" ||
 		cfg.interval.Seconds() != 5 || cfg.server.MaxKeys != 100 ||
 		cfg.server.Stripes != 8 || cfg.server.MaxBodyBytes != 1024 {
 		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.server.WALDir != "/tmp/wal" || cfg.server.FsyncPolicy != wal.FsyncAlways ||
+		cfg.server.FsyncInterval != 50*time.Millisecond ||
+		cfg.server.WALSegmentBytes != 4096 || cfg.server.MaxDurabilityLag != 5*time.Second {
+		t.Errorf("durability config = %+v", cfg.server)
 	}
 	if cfg.tcpAddr != "" || cfg.pprofAddr != "" {
 		t.Errorf("tcp/pprof listeners default on: %+v", cfg)
@@ -74,6 +83,10 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"bad spec", []string{"-spec", "nope:mbits=1"}, "unknown sketch kind"},
 		{"underdimensioned spec", []string{"-spec", "sbitmap:n=1e6"}, ""},
 		{"negative interval", []string{"-checkpoint-interval", "-1s"}, "negative"},
+		{"bad fsync policy", []string{"-fsync", "sometimes"}, "-fsync"},
+		{"negative fsync interval", []string{"-fsync-interval", "-1s"}, "negative"},
+		{"negative segment bytes", []string{"-wal-segment-bytes", "-1"}, "negative"},
+		{"negative durability lag", []string{"-max-durability-lag", "-1s"}, "negative"},
 		{"positional args", []string{"extra"}, "unexpected arguments"},
 		{"unknown role", []string{"-role", "router"}, "-role"},
 		{"edge without aggregator", []string{"-role", "edge"}, "-aggregator"},

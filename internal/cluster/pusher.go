@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,14 @@ type Pusher struct {
 	Target *server.Client
 	// Interval between pushes; Run requires it > 0.
 	Interval time.Duration
+	// BackoffBase seeds the retry delay after a failed push: the same
+	// bounded-exponential shape as server.WithRetry (base, 2·base,
+	// 4·base, ...), jittered, instead of waiting a full Interval while
+	// the aggregator is down. 0 means one second.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential delay. 0 means max(Interval, base):
+	// a dead aggregator never gets probed slower than the normal cadence.
+	BackoffMax time.Duration
 	// Logf, when non-nil, receives one line per push outcome.
 	Logf func(format string, args ...any)
 
@@ -54,25 +63,64 @@ func (p *Pusher) PushOnce(ctx context.Context) (server.MergeResult, error) {
 }
 
 // Run pushes on every Interval tick until ctx is done. A failed push is
-// logged and retried at the next tick — the aggregator being down must
-// not take the edge node's counting down with it.
+// logged and retried on a bounded exponential backoff with jitter (so a
+// briefly-down aggregator is re-probed quickly without a thundering herd
+// of edges re-converging in lockstep); a success resumes the normal
+// cadence. The aggregator being down must not take the edge node's
+// counting down with it — snapshots are cumulative, so the next success
+// heals the whole gap.
 func (p *Pusher) Run(ctx context.Context) {
-	tick := time.NewTicker(p.Interval)
-	defer tick.Stop()
+	fails := 0
+	timer := time.NewTimer(p.Interval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
+		case <-timer.C:
 			if res, err := p.PushOnce(ctx); err != nil {
+				fails++
+				delay := p.backoff(fails)
 				if p.Logf != nil {
-					p.Logf("snapshot push: %v", err)
+					p.Logf("snapshot push: %v (retry %d in %v)", err, fails, delay.Round(time.Millisecond))
 				}
-			} else if p.Logf != nil {
-				p.Logf("snapshot push: %d keys merged into %s", res.KeysMerged, p.Target.Base())
+				timer.Reset(delay)
+			} else {
+				fails = 0
+				if p.Logf != nil {
+					p.Logf("snapshot push: %d keys merged into %s", res.KeysMerged, p.Target.Base())
+				}
+				timer.Reset(p.Interval)
 			}
 		}
 	}
+}
+
+// backoff returns the delay before retry number fails (1-based):
+// base<<(fails-1) capped at BackoffMax, then jittered uniformly into
+// [d/2, d] so a fleet of edges losing the aggregator together doesn't
+// retry in lockstep.
+func (p *Pusher) backoff(fails int) time.Duration {
+	base := p.BackoffBase
+	if base <= 0 {
+		base = time.Second
+	}
+	max := p.BackoffMax
+	if max <= 0 {
+		max = p.Interval
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + rand.N(half+1)
 }
 
 // Pushes, PushedKeys, Failures report the pusher's lifetime counters.

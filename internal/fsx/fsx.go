@@ -1,0 +1,69 @@
+// Package fsx holds the crash-durability file primitives shared by every
+// on-disk artifact of the counting service — WAL segments, per-stripe
+// checkpoint files, and the checkpoint manifest. They all need the same
+// two guarantees a bare os.WriteFile does not give:
+//
+//  1. atomicity: a reader (including a recovering process) never observes
+//     a half-written file — content appears under its final name all at
+//     once or not at all;
+//  2. durability of the *name*, not just the bytes: fsyncing a file makes
+//     its contents durable, but the rename that published it lives in the
+//     parent directory, and on a power failure an un-fsynced directory can
+//     forget the rename entirely — leaving a fully fsynced file that no
+//     longer exists. Every publishing operation here therefore ends with
+//     an fsync of the parent directory.
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any instant
+// leaves either the previous file (or no file) or the complete new one,
+// durably: write to a same-directory temporary, fsync the file, rename
+// over path, then fsync the parent directory so the rename itself
+// survives power loss. On error the temporary is removed and the previous
+// path content is untouched.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making its entries (creates, renames,
+// removes) durable. Required after any operation that changes what names
+// exist: without it, a power failure can roll the directory back to a
+// state that never references a file whose bytes were themselves fsynced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

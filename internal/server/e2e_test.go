@@ -24,7 +24,7 @@ func TestEndToEndMillionUpdates(t *testing.T) {
 	}
 	spec := sbitmap.MustSpec("sbitmap:n=1e4,eps=0.1,seed=5")
 	dir := t.TempDir()
-	cfg := Config{Spec: spec, CheckpointPath: filepath.Join(dir, "ckpt.bin")}
+	cfg := Config{Spec: spec, CheckpointDir: filepath.Join(dir, "ckpt")}
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

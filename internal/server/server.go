@@ -22,10 +22,12 @@
 // Errors are typed: every 4xx/5xx body is {"error":{"code":...,
 // "message":...}} with a stable machine-readable code.
 //
-// Durability is checkpoint-based: Config.CheckpointPath names an atomic
-// (tmp+rename) snapshot of the whole store written on demand, on a timer
-// (cmd/sketchd), and on SIGTERM; New restores it on start, so a restarted
-// server resumes counting with the estimates it went down with.
+// Durability is incremental: Config.WALDir enables a write-ahead log of
+// ingest frames appended before any ack (see IngestFrame), and
+// Config.CheckpointDir enables manifest-led per-stripe checkpoints whose
+// cost scales with the write rate, not the key count. New recovers by
+// restoring the newest manifest's stripes and replaying the WAL tail, so
+// a restarted server resumes counting with exactly the records it acked.
 package server
 
 import (
@@ -35,7 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"io/fs"
 	"mime"
 	"net/http"
 	"os"
@@ -47,6 +48,7 @@ import (
 
 	sbitmap "repro"
 	"repro/internal/pstats"
+	"repro/internal/wal"
 )
 
 // DefaultMaxBodyBytes bounds /v1/add and /v1/merge request bodies when
@@ -63,10 +65,31 @@ type Config struct {
 	MaxKeys int
 	// Stripes overrides the Store's lock-stripe count; 0 means default.
 	Stripes int
-	// CheckpointPath, when non-empty, enables durable snapshots: restored
-	// on New, written by Checkpoint (and cmd/sketchd's timer/SIGTERM
-	// hooks) via an atomic tmp+rename.
-	CheckpointPath string
+	// CheckpointDir, when non-empty, enables durable snapshots: a
+	// directory holding per-stripe snapshot files under MANIFEST.json.
+	// New restores the newest manifest; Checkpoint (and cmd/sketchd's
+	// timer/SIGTERM hooks) writes only the stripes dirtied since the last
+	// checkpoint, each via atomic tmp/fsync/rename with the manifest
+	// committed last and the directory fsynced.
+	CheckpointDir string
+	// WALDir, when non-empty, enables the write-ahead log: every ingest
+	// mutation is appended (as an SBF1 frame or merge snapshot record)
+	// before its ack, and New replays the log tail on top of the restored
+	// checkpoint. Completed checkpoints truncate obsolete segments.
+	WALDir string
+	// FsyncPolicy governs when WAL appends reach stable storage; the zero
+	// value is wal.FsyncAlways (acked means durable).
+	FsyncPolicy wal.FsyncPolicy
+	// FsyncInterval is the flush period under wal.FsyncInterval; 0 means
+	// wal.DefaultSyncInterval.
+	FsyncInterval time.Duration
+	// WALSegmentBytes caps a WAL segment before rotation; 0 means
+	// wal.DefaultSegmentBytes.
+	WALSegmentBytes int64
+	// MaxDurabilityLag, when > 0, degrades GET /v1/healthz to 503 (with a
+	// typed body) whenever the durability lag — how long the oldest acked
+	// but not yet durable mutation has been waiting — exceeds it.
+	MaxDurabilityLag time.Duration
 	// MaxBodyBytes bounds ingest/merge request bodies; 0 means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
@@ -103,9 +126,37 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// ckMu serializes checkpoint writes (the store itself stays live).
-	ckMu         sync.Mutex
-	restoredKeys int
+	// gate is the ingest gate that makes a checkpoint an exact cut: every
+	// ingest mutation holds it shared around its (WAL append, store apply)
+	// pair, and Checkpoint holds it exclusive while capturing the cut LSN
+	// and marshaling dirty stripes into memory — so the snapshot equals
+	// "exactly the records below the cut applied" and replay partitions
+	// perfectly. File I/O happens outside the gate; the stall scales with
+	// the dirty data, not the store.
+	gate sync.RWMutex
+
+	// wlog is the write-ahead log; nil when Config.WALDir is empty.
+	wlog *wal.Log
+
+	// ckMu serializes checkpoint writes and guards the manifest chain
+	// (man, ckSince, ckLSN).
+	ckMu    sync.Mutex
+	man     *manifest // newest committed manifest (nil before the first)
+	ckSince uint64    // dirty-stripe cut of the next incremental pass
+	ckLSN   uint64    // WAL LSN the newest manifest replays from
+
+	restoredKeys    int
+	replayedRecords int
+	recoveryNanos   int64
+
+	// walPending counts WAL bytes past the newest checkpoint — what a
+	// crash right now would replay. Appends add, a committed checkpoint
+	// subtracts its cut, both under the gate, so the figure is exact.
+	walPending atomic.Int64
+	// mutations counts ingest mutations since the last durable point;
+	// with no WAL it drives the durability-lag figure.
+	mutations           atomic.Int64
+	lastDurableUnixNano atomic.Int64
 
 	// Live metrics, reported by /v1/stats. The ingest and query counters
 	// sit on every request's hot path and are sharded over padded cache
@@ -122,11 +173,13 @@ type Server struct {
 	lastCkUnixNano atomic.Int64
 	lastCkBytes    atomic.Int64
 	lastCkNanos    atomic.Int64
+	lastCkStripes  atomic.Int64
 }
 
-// New builds a Server: validates the spec, restores the checkpoint when
-// CheckpointPath names an existing snapshot (whose embedded spec must
-// match cfg.Spec), and wires the routes.
+// New builds a Server: validates the spec, recovers durable state —
+// restore the newest manifest's stripes (whose spec must match
+// cfg.Spec), open the WAL (healing a torn tail, refusing on corruption
+// with a typed error), replay the tail on top — and wires the routes.
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
@@ -154,12 +207,26 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, sbitmap.WithMaxKeys(cfg.MaxKeys))
 	}
 	s := &Server{cfg: cfg, start: time.Now()}
-	if cfg.CheckpointPath != "" {
-		st, n, err := restoreCheckpoint(cfg.CheckpointPath, cfg.Spec, opts)
+	s.lastDurableUnixNano.Store(s.start.UnixNano())
+	recoverStart := time.Now()
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+		man, st, n, err := loadManifest(cfg.CheckpointDir, cfg.Spec, opts)
 		if err != nil {
 			return nil, err
 		}
-		s.store, s.restoredKeys = st, n
+		if man != nil {
+			s.store, s.restoredKeys = st, n
+			s.man, s.ckSince, s.ckLSN = man, man.Gen, man.WALLSN
+			if st.StripeCount() != man.Stripes {
+				// The stripe count changed across the restart: per-stripe
+				// dirt recorded under the old layout no longer maps onto
+				// this one, so the next checkpoint must be a full pass.
+				s.ckSince = 0
+			}
+		}
 	}
 	if s.store == nil {
 		st, err := sbitmap.NewStore[string](cfg.Spec, opts...)
@@ -168,6 +235,32 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = st
 	}
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: wal dir: %w", err)
+		}
+		wlog, err := wal.Open(wal.Options{
+			Dir:          cfg.WALDir,
+			SegmentBytes: cfg.WALSegmentBytes,
+			Policy:       cfg.FsyncPolicy,
+			SyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: refusing to start: %w", err)
+		}
+		s.wlog = wlog
+		replayed, pending, err := s.replayWAL(s.ckLSN)
+		if err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("server: refusing to start: wal replay: %w", err)
+		}
+		s.replayedRecords = replayed
+		s.walPending.Store(pending)
+		// Replayed records came off stable storage: they are durable, only
+		// not yet folded into a checkpoint.
+		s.mutations.Store(0)
+	}
+	s.recoveryNanos = time.Since(recoverStart).Nanoseconds()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
@@ -188,6 +281,20 @@ func (s *Server) Store() *sbitmap.Store[string] { return s.store }
 // RestoredKeys reports how many keys the start-time checkpoint restore
 // brought back (0 when starting fresh).
 func (s *Server) RestoredKeys() int { return s.restoredKeys }
+
+// ReplayedRecords reports how many WAL records the start-time recovery
+// replayed on top of the restored checkpoint.
+func (s *Server) ReplayedRecords() int { return s.replayedRecords }
+
+// Close releases the server's durable resources (the WAL's open segment).
+// Call after the HTTP listener has drained; a Server without a WAL needs
+// no Close.
+func (s *Server) Close() error {
+	if s.wlog == nil {
+		return nil
+	}
+	return s.wlog.Close()
+}
 
 // MaxBodyBytes reports the configured ingest size limit, so alternative
 // transports (the TCP frame listener) enforce the same bound HTTP does.
@@ -210,6 +317,8 @@ const (
 	CodeNotMergeable    = "not_mergeable"
 	CodeNoCheckpoint    = "no_checkpoint_path"
 	CodeCheckpointWrite = "checkpoint_write"
+	CodeWALWrite        = "wal_write"
+	CodeDurabilityLag   = "durability_lag"
 )
 
 // errorBody is the wire form of every non-2xx response.
@@ -260,12 +369,17 @@ type MergeResult struct {
 	KeysMerged int `json:"keys_merged"`
 }
 
-// CheckpointInfo reports one durable snapshot write.
+// CheckpointInfo reports one durable snapshot write. Bytes counts the
+// stripe snapshot data written by THIS pass — for an incremental
+// checkpoint that is the dirty stripes only, so it scales with the write
+// rate since the previous pass, not with the key population.
 type CheckpointInfo struct {
-	Path    string  `json:"path"`
-	Bytes   int     `json:"bytes"`
-	Keys    int     `json:"keys"`
-	Seconds float64 `json:"seconds"`
+	Path           string  `json:"path"`
+	Bytes          int     `json:"bytes"`
+	Keys           int     `json:"keys"`
+	Seconds        float64 `json:"seconds"`
+	StripesWritten int     `json:"stripes_written"`
+	Incremental    bool    `json:"incremental"`
 }
 
 // Stats is the /v1/stats response: store totals plus live service
@@ -278,16 +392,29 @@ type Stats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	RestoredKeys   int     `json:"restored_keys"`
 
-	AddRequests  int64 `json:"add_requests"`
-	Records      int64 `json:"records"`
-	Changed      int64 `json:"changed"`
-	Queries      int64 `json:"queries"`
-	MergeCalls   int64 `json:"merge_calls"`
-	MergedKeys   int64 `json:"merged_keys"`
-	Checkpoints  int64 `json:"checkpoints"`
-	LastCkUnix   int64 `json:"last_checkpoint_unix,omitempty"`
-	LastCkBytes  int64 `json:"last_checkpoint_bytes,omitempty"`
-	LastCkMillis int64 `json:"last_checkpoint_millis,omitempty"`
+	AddRequests   int64 `json:"add_requests"`
+	Records       int64 `json:"records"`
+	Changed       int64 `json:"changed"`
+	Queries       int64 `json:"queries"`
+	MergeCalls    int64 `json:"merge_calls"`
+	MergedKeys    int64 `json:"merged_keys"`
+	Checkpoints   int64 `json:"checkpoints"`
+	LastCkUnix    int64 `json:"last_checkpoint_unix,omitempty"`
+	LastCkBytes   int64 `json:"last_checkpoint_bytes,omitempty"`
+	LastCkMillis  int64 `json:"last_checkpoint_millis,omitempty"`
+	LastCkStripes int64 `json:"last_checkpoint_stripes,omitempty"`
+
+	// Durability: how far the node's acked state is from stable storage.
+	// DurabilityLagSeconds is the age of the oldest acked mutation not yet
+	// durable (0 when everything acked is on disk);
+	// WALPendingReplayBytes is how much log a crash right now would
+	// replay on restart.
+	DurabilityLagSeconds  float64 `json:"durability_lag_seconds"`
+	WALPendingReplayBytes int64   `json:"wal_pending_replay_bytes"`
+	WALSegments           int     `json:"wal_segments,omitempty"`
+	WALBytes              int64   `json:"wal_bytes,omitempty"`
+	ReplayedRecords       int     `json:"replayed_records,omitempty"`
+	RecoveryMillis        int64   `json:"recovery_millis,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -343,6 +470,7 @@ type ingestScratch struct {
 	frame Frame
 	keys  []string
 	items []string
+	wal   []byte // NDJSON records re-encoded as a frame for the WAL
 }
 
 var ingestPool = sync.Pool{New: func() any { return new(ingestScratch) }}
@@ -360,6 +488,11 @@ func (sc *ingestScratch) release() {
 		sc.body = nil
 	} else {
 		sc.body = sc.body[:0]
+	}
+	if cap(sc.wal) > ingestBodyKeep {
+		sc.wal = nil
+	} else {
+		sc.wal = sc.wal[:0]
 	}
 	sc.frame.Release()
 	clear(sc.keys[:cap(sc.keys)])
@@ -393,14 +526,65 @@ func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
 // borrowed (zero-copy): the store's batch methods hash items immediately
 // and clone any key they retain, so the caller may reuse the backing
 // buffer as soon as AddFrame returns. Safe for concurrent use.
+//
+// AddFrame bypasses the WAL: it is the in-process composition path
+// (benchmarks, embedding). Transports whose acks promise durability —
+// HTTP /v1/add and the TCP frame listener — go through IngestFrame.
 func (s *Server) AddFrame(f *Frame) AddResult {
+	s.gate.RLock()
+	res := s.applyFrame(f)
+	s.gate.RUnlock()
+	return res
+}
+
+// applyFrame applies a decoded frame to the store. Callers hold the
+// ingest gate shared.
+func (s *Server) applyFrame(f *Frame) AddResult {
 	res := AddResult{Records: f.Records()}
 	if f.Items64 != nil {
 		res.Changed = s.store.AddBatch64(f.Keys, f.Items64)
 	} else {
 		res.Changed = s.store.AddBatchString(f.Keys, f.ItemsString)
 	}
+	s.mutations.Add(1)
 	return res
+}
+
+// IngestFrame ingests one encoded add frame durably: raw (exactly the
+// bytes f was decoded from) is appended to the WAL before the store
+// applies f, and both happen under the ingest gate, so an ack sent after
+// IngestFrame returns means the frame is in the log ahead of any
+// checkpoint cut — acked means replayable. With no WAL configured it
+// degrades to AddFrame. An error means the frame may not be durable; the
+// transport must fail the request instead of acking. Safe for
+// concurrent use.
+func (s *Server) IngestFrame(raw []byte, f *Frame) (AddResult, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wlog != nil {
+		if _, err := s.wlog.Append(walTagFrame, raw); err != nil {
+			return AddResult{}, fmt.Errorf("server: wal append: %w", err)
+		}
+		s.walPending.Add(walRecordBytes(len(raw)))
+	}
+	return s.applyFrame(f), nil
+}
+
+// ingestString is the NDJSON counterpart of IngestFrame: walFrame is the
+// records re-encoded as an SBF1 string frame (built by the caller only
+// when a WAL is configured), logged before the batch is applied.
+func (s *Server) ingestString(walFrame []byte, keys, items []string) (int, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wlog != nil {
+		if _, err := s.wlog.Append(walTagFrame, walFrame); err != nil {
+			return 0, fmt.Errorf("server: wal append: %w", err)
+		}
+		s.walPending.Add(walRecordBytes(len(walFrame)))
+	}
+	changed := s.store.AddBatchString(keys, items)
+	s.mutations.Add(1)
+	return changed, nil
 }
 
 // RecordIngest folds one ingest call into the live metrics: an add
@@ -441,7 +625,11 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, CodeBadFrame, "%v", err)
 			return
 		}
-		res = s.AddFrame(&sc.frame)
+		res, err = s.IngestFrame(data, &sc.frame)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeWALWrite, "%v", err)
+			return
+		}
 	} else {
 		keys, items := sc.keys, sc.items
 		sc2 := bufio.NewScanner(bytes.NewReader(data))
@@ -471,7 +659,14 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res.Records = len(keys)
-		res.Changed = s.store.AddBatchString(keys, items)
+		if s.wlog != nil {
+			sc.wal = AppendFrameString(sc.wal[:0], keys, items)
+		}
+		res.Changed, err = s.ingestString(sc.wal, keys, items)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeWALWrite, "%v", err)
+			return
+		}
 	}
 	s.recordsTotal.Add(aff, int64(res.Records))
 	s.changedTotal.Add(aff, int64(res.Changed))
@@ -534,6 +729,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Checkpoints:    s.checkpoints.Load(),
 		LastCkBytes:    s.lastCkBytes.Load(),
 		LastCkMillis:   s.lastCkNanos.Load() / int64(time.Millisecond),
+		LastCkStripes:  s.lastCkStripes.Load(),
+
+		DurabilityLagSeconds:  s.durabilityLag(time.Now()),
+		WALPendingReplayBytes: s.walPending.Load(),
+		ReplayedRecords:       s.replayedRecords,
+		RecoveryMillis:        s.recoveryNanos / int64(time.Millisecond),
+	}
+	if s.wlog != nil {
+		ws := s.wlog.Stats()
+		st.WALSegments = ws.Segments
+		st.WALBytes = ws.Bytes
 	}
 	if ns := s.lastCkUnixNano.Load(); ns != 0 {
 		st.LastCkUnix = ns / int64(time.Second)
@@ -559,7 +765,15 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 			"peer snapshot spec %s differs from this store's %s", peer.Spec(), s.store.Spec())
 		return
 	}
+	// Apply, then log. A merge can fail validation deep inside the store,
+	// so the WAL record is written only for merges that actually mutated
+	// state — otherwise replay would refuse on a record the live server
+	// rejected. The gate spans both, so a checkpoint cut cannot fall
+	// between apply and append; logging after applying is sound here
+	// because Mergeable kinds union idempotently, unlike add frames.
+	s.gate.RLock()
 	if err := s.store.Merge(peer); err != nil {
+		s.gate.RUnlock()
 		if errors.Is(err, sbitmap.ErrNotMergeable) {
 			writeError(w, http.StatusUnprocessableEntity, CodeNotMergeable, "%v", err)
 			return
@@ -567,6 +781,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, CodeSpecMismatch, "%v", err)
 		return
 	}
+	s.mutations.Add(1)
+	if s.wlog != nil {
+		if _, err := s.wlog.Append(walTagMerge, data); err != nil {
+			s.gate.RUnlock()
+			writeError(w, http.StatusInternalServerError, CodeWALWrite, "server: wal append: %v", err)
+			return
+		}
+		s.walPending.Add(walRecordBytes(len(data)))
+	}
+	s.gate.RUnlock()
 	s.mergedKeys.Add(int64(peer.Len()))
 	writeJSON(w, http.StatusOK, MergeResult{KeysMerged: peer.Len()})
 }
@@ -592,27 +816,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // HealthResult is the GET /v1/healthz response: enough for a prober to
 // confirm the node is alive AND is the node it expects (same spec), at a
-// cost independent of the store size.
+// cost independent of the store size — plus the durability figures a
+// load balancer needs to drain a node whose acked data is drifting away
+// from stable storage. When Config.MaxDurabilityLag is exceeded, Status
+// is "degraded", Error carries the typed cause, and the endpoint serves
+// the same body with a 503 — so the response parses both as a
+// HealthResult and as the standard {"error":{...}} envelope.
 type HealthResult struct {
-	Status        string  `json:"status"`
-	Spec          string  `json:"spec"`
-	Role          string  `json:"role"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status               string    `json:"status"`
+	Spec                 string    `json:"spec"`
+	Role                 string    `json:"role"`
+	UptimeSeconds        float64   `json:"uptime_seconds"`
+	DurabilityLagSeconds float64   `json:"durability_lag_seconds"`
+	WALPendingBytes      int64     `json:"wal_pending_replay_bytes"`
+	Error                *APIError `json:"error,omitempty"`
 }
 
 // Health reports the node's liveness summary (what GET /v1/healthz
 // serves) — exported so in-process composition can skip the HTTP hop.
 func (s *Server) Health() HealthResult {
-	return HealthResult{
-		Status:        "ok",
-		Spec:          s.store.Spec().String(),
-		Role:          s.ClusterInfo().Role,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+	lag := s.durabilityLag(time.Now())
+	h := HealthResult{
+		Status:               "ok",
+		Spec:                 s.store.Spec().String(),
+		Role:                 s.ClusterInfo().Role,
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		DurabilityLagSeconds: lag,
+		WALPendingBytes:      s.walPending.Load(),
 	}
+	if max := s.cfg.MaxDurabilityLag; max > 0 && lag > max.Seconds() {
+		h.Status = "degraded"
+		h.Error = &APIError{
+			Status: http.StatusServiceUnavailable,
+			Code:   CodeDurabilityLag,
+			Message: fmt.Sprintf("durability lag %.3fs exceeds the configured maximum %.3fs (acked data is not reaching stable storage)",
+				lag, max.Seconds()),
+		}
+	}
+	return h
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Health())
+	h := s.Health()
+	status := http.StatusOK
+	if h.Error != nil {
+		status = h.Error.Status
+	}
+	writeJSON(w, status, h)
 }
 
 // ClusterInfo returns the configured topology with the role defaulted,
@@ -630,92 +880,5 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 // ErrNoCheckpointPath reports a Checkpoint call on a server configured
-// without Config.CheckpointPath.
-var ErrNoCheckpointPath = errors.New("server: no checkpoint path configured")
-
-// Checkpoint writes a durable snapshot of the whole store to
-// Config.CheckpointPath atomically (write to a sibling .tmp file, fsync,
-// rename), so a reader never observes a torn file and a crash mid-write
-// leaves the previous checkpoint intact. The store stays live: stripes
-// are encoded under their own locks (see Store.MarshalBinary), ingest in
-// other stripes proceeds concurrently. Writes are serialized; safe for
-// concurrent use.
-func (s *Server) Checkpoint() (CheckpointInfo, error) {
-	if s.cfg.CheckpointPath == "" {
-		return CheckpointInfo{}, ErrNoCheckpointPath
-	}
-	s.ckMu.Lock()
-	defer s.ckMu.Unlock()
-	start := time.Now()
-	blob, err := s.store.MarshalBinary()
-	if err != nil {
-		return CheckpointInfo{}, fmt.Errorf("server: checkpoint encode: %w", err)
-	}
-	if err := writeFileAtomic(s.cfg.CheckpointPath, blob); err != nil {
-		return CheckpointInfo{}, fmt.Errorf("server: checkpoint write: %w", err)
-	}
-	elapsed := time.Since(start)
-	s.checkpoints.Add(1)
-	s.lastCkUnixNano.Store(start.UnixNano())
-	s.lastCkBytes.Store(int64(len(blob)))
-	s.lastCkNanos.Store(int64(elapsed))
-	return CheckpointInfo{
-		Path:    s.cfg.CheckpointPath,
-		Bytes:   len(blob),
-		Keys:    s.store.Len(),
-		Seconds: elapsed.Seconds(),
-	}, nil
-}
-
-// writeFileAtomic writes data to path via a same-directory temporary file
-// and rename, fsyncing before the rename so a crash cannot publish a
-// partially written checkpoint.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
-// restoreCheckpoint loads a checkpoint written by Checkpoint. A missing
-// file is not an error (first start); a present file must decode and its
-// embedded spec must equal the configured one — silently counting under
-// a different dimensioning than the checkpoint would corrupt estimates.
-func restoreCheckpoint(path string, spec sbitmap.Spec, opts []sbitmap.StoreOption) (*sbitmap.Store[string], int, error) {
-	blob, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, nil
-	}
-	if err != nil {
-		return nil, 0, fmt.Errorf("server: reading checkpoint: %w", err)
-	}
-	st, err := sbitmap.UnmarshalStore[string](blob, opts...)
-	if err != nil {
-		return nil, 0, fmt.Errorf("server: checkpoint %s: %w", path, err)
-	}
-	if st.Spec() != spec {
-		return nil, 0, fmt.Errorf("server: checkpoint %s holds spec %s, but the server is configured with %s (move the checkpoint aside to start fresh, or fix -spec)",
-			path, st.Spec(), spec)
-	}
-	return st, st.Len(), nil
-}
+// without Config.CheckpointDir.
+var ErrNoCheckpointPath = errors.New("server: no checkpoint directory configured")

@@ -311,12 +311,12 @@ func TestMergeFlow(t *testing.T) {
 }
 
 func TestCheckpointRecovery(t *testing.T) {
-	// Checkpoint, "crash" (drop the server), restart from the file:
+	// Checkpoint, "crash" (drop the server), restart from the directory:
 	// estimates must be bit-identical, and counting must continue.
 	dir := t.TempDir()
 	cfg := Config{
-		Spec:           sbitmap.MustSpec("sbitmap:n=1e4,eps=0.05,seed=11"),
-		CheckpointPath: filepath.Join(dir, "ckpt.bin"),
+		Spec:          sbitmap.MustSpec("sbitmap:n=1e4,eps=0.05,seed=11"),
+		CheckpointDir: filepath.Join(dir, "ckpt"),
 	}
 	srv, _, client := newTestServer(t, cfg)
 	ctx := context.Background()
@@ -335,7 +335,7 @@ func TestCheckpointRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Keys != 50 || info.Bytes <= 0 {
+	if info.Keys != 50 || info.Bytes <= 0 || info.StripesWritten <= 0 || info.Incremental {
 		t.Fatalf("checkpoint info %+v", info)
 	}
 	before := map[string]float64{}
@@ -375,9 +375,8 @@ func TestCheckpointRecovery(t *testing.T) {
 }
 
 func TestCheckpointSpecMismatch(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "ckpt.bin")
-	cfg := Config{Spec: sbitmap.MustSpec("hll:mbits=512"), CheckpointPath: path}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cfg := Config{Spec: sbitmap.MustSpec("hll:mbits=512"), CheckpointDir: dir}
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -387,38 +386,54 @@ func TestCheckpointSpecMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Spec = sbitmap.MustSpec("hll:mbits=1024")
-	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "spec") {
+	if _, err := New(cfg); err == nil || !errors.Is(err, ErrCheckpointSpecMismatch) ||
+		!strings.Contains(err.Error(), "spec") {
 		t.Fatalf("restart under a different spec: %v", err)
 	}
 	// A corrupt checkpoint must refuse to start, not count from scratch.
-	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Spec = sbitmap.MustSpec("hll:mbits=512")
-	if _, err := New(cfg); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	if _, err := New(cfg); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt manifest: %v", err)
 	}
 }
 
 func TestCheckpointAtomicTmp(t *testing.T) {
-	// The tmp file never survives a successful write.
-	dir := t.TempDir()
+	// No tmp file — stripe, manifest, or otherwise — survives a
+	// successful checkpoint pass, and obsolete stripe snapshots from
+	// earlier generations are garbage-collected.
+	dir := filepath.Join(t.TempDir(), "ckpt")
 	cfg := Config{
-		Spec:           sbitmap.MustSpec("hll:mbits=512"),
-		CheckpointPath: filepath.Join(dir, "ck.bin"),
+		Spec:          sbitmap.MustSpec("hll:mbits=512"),
+		CheckpointDir: dir,
 	}
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.Store().AddString("k", "v")
 	for i := 0; i < 3; i++ {
+		srv.Store().AddString("k", fmt.Sprintf("v%d", i))
 		if _, err := srv.Checkpoint(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := os.Stat(cfg.CheckpointPath + ".tmp"); !errors.Is(err, os.ErrNotExist) {
-		t.Errorf("tmp file left behind: %v", err)
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("tmp files left behind: %v", tmps)
+	}
+	// "k" lives in one stripe and was rewritten three times; GC must have
+	// kept exactly the one snapshot the manifest references.
+	snaps, err := filepath.Glob(filepath.Join(dir, "stripe-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Errorf("stale stripe snapshots not collected: %v", snaps)
 	}
 	if err := srv.Store().Merge(srv.Store()); err != nil {
 		// Self-merge is a no-op; just exercising the API surface here.

@@ -191,7 +191,16 @@ func (h *connHandler) serveOne() error {
 		h.ackError()
 		return errConnDone
 	}
-	res := h.srv.AddFrame(&h.frame)
+	// Append-before-ack: the frame hits the WAL (when configured) before
+	// the store and the ack, so an acked frame survives a crash. A WAL
+	// write failure is not the client's fault, but the ack contract is
+	// "acked means applied durably" — refuse and close rather than ack a
+	// frame that may vanish.
+	res, err := h.srv.IngestFrame(h.buf, &h.frame)
+	if err != nil {
+		h.ackError()
+		return errConnDone
+	}
 	h.srv.RecordIngest(uintptr(unsafe.Pointer(h)), res.Records, res.Changed)
 	binary.LittleEndian.PutUint64(h.ack[:], uint64(res.Changed))
 	if _, err := h.bw.Write(h.ack[:]); err != nil {

@@ -35,7 +35,7 @@ wait_healthy() {
   exit 1
 }
 
-# start <addr> <checkpoint-file>: one partition peer. Every node gets the
+# start <addr> <checkpoint-dir>: one partition peer. Every node gets the
 # identical -spec and -peers list — that is the whole cluster config.
 start() {
   "$BIN" -addr "$1" -spec "$SPEC" -peers "$PEERS" \
@@ -44,9 +44,9 @@ start() {
 }
 
 echo "smoke: starting 3-node cluster"
-start "$A1" ck1.bin
-start "$A2" ck2.bin
-start "$A3" ck3.bin
+start "$A1" ck1
+start "$A2" ck2
+start "$A3" ck3
 wait_healthy "$P1"; wait_healthy "$P2"; wait_healthy "$P3"
 
 # Every node must report the shared topology.
@@ -62,14 +62,14 @@ go run ./scripts/clusterclient -peers "$PEERS" -spec "$SPEC" -mode ingest
 echo "smoke: killing node 2 (SIGTERM writes its checkpoint)"
 kill -TERM "${PIDS[1]}"
 wait "${PIDS[1]}" || { echo "smoke: node 2 exited non-zero" >&2; exit 1; }
-[ -s "$DIR/ck2.bin" ] || { echo "smoke: node 2 wrote no checkpoint" >&2; exit 1; }
+[ -s "$DIR/ck2/MANIFEST.json" ] || { echo "smoke: node 2 wrote no checkpoint" >&2; exit 1; }
 
 echo "smoke: scatter-gather queries must degrade (typed partial), not fail"
 go run ./scripts/clusterclient -peers "$PEERS" -spec "$SPEC" -mode degraded -dead "$P2"
 
 echo "smoke: restarting node 2 from its checkpoint"
 "$BIN" -addr "$A2" -spec "$SPEC" -peers "$PEERS" \
-  -checkpoint "$DIR/ck2.bin" -checkpoint-interval 0 &
+  -checkpoint "$DIR/ck2" -checkpoint-interval 0 &
 PIDS[1]=$!
 wait_healthy "$P2"
 

@@ -33,7 +33,7 @@ wait_healthy() {
 
 start() {
   "$BIN" -addr "$ADDR" -spec "hll:mbits=4096,seed=7" \
-    -checkpoint "$DIR/ckpt.bin" -checkpoint-interval 0 &
+    -checkpoint "$DIR/ckpt" -checkpoint-interval 0 &
   PID=$!
   wait_healthy
 }
@@ -73,7 +73,7 @@ echo "smoke: SIGTERM (writes the final checkpoint) and restart"
 kill -TERM "$PID"
 wait "$PID" || { echo "smoke: sketchd exited non-zero on SIGTERM" >&2; exit 1; }
 PID=""
-[ -s "$DIR/ckpt.bin" ] || { echo "smoke: no checkpoint written" >&2; exit 1; }
+[ -s "$DIR/ckpt/MANIFEST.json" ] || { echo "smoke: no checkpoint written" >&2; exit 1; }
 start
 
 EST_ALICE2=$(curl -fsS "$BASE/v1/estimate?key=alice")

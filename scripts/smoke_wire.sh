@@ -37,7 +37,7 @@ wait_healthy() {
 
 start() {
   "$BIN" -addr "$ADDR" -tcp-addr "$TCP" -spec "$SPEC" \
-    -checkpoint "$DIR/ckpt.bin" -checkpoint-interval 0 &
+    -checkpoint "$DIR/ckpt" -checkpoint-interval 0 &
   PID=$!
   wait_healthy
 }
@@ -65,7 +65,7 @@ echo "smoke-wire: SIGTERM (writes the final checkpoint) and restart"
 kill -TERM "$PID"
 wait "$PID" || { echo "smoke-wire: sketchd exited non-zero on SIGTERM" >&2; exit 1; }
 PID=""
-[ -s "$DIR/ckpt.bin" ] || { echo "smoke-wire: no checkpoint written" >&2; exit 1; }
+[ -s "$DIR/ckpt/MANIFEST.json" ] || { echo "smoke-wire: no checkpoint written" >&2; exit 1; }
 start
 
 EST_A2=$(curl -fsS "$BASE/v1/estimate?key=wire-00000")

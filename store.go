@@ -45,6 +45,11 @@ type Store[K StoreKey] struct {
 	keys    atomic.Int64
 	onEvict func(K, Counter)
 
+	// gen is the dirty-tracking generation: every mutation stamps its
+	// stripe with the current value, and MarshalStripes advances it to cut
+	// a new checkpoint epoch. See MarshalStripes for the protocol.
+	gen atomic.Uint64
+
 	// newCounter is the per-key factory: Spec.New with the construction
 	// validated once in NewStore, so materialization cannot fail later.
 	newCounter func() Counter
@@ -70,11 +75,12 @@ type StoreKey interface {
 // so neither per-key state nor the ~4 KiB batch buffers are allocated per
 // key.
 type storeStripe[K StoreKey] struct {
-	mu    sync.Mutex
-	m     map[K]Counter
-	arena counterArena  // nil unless slab allocation is on
-	scr   uhash.Scratch // shared batch-hash buffers, under mu
-	_     [48]byte      // pad to reduce false sharing between adjacent locks
+	mu     sync.Mutex
+	m      map[K]Counter
+	arena  counterArena  // nil unless slab allocation is on
+	scr    uhash.Scratch // shared batch-hash buffers, under mu
+	modGen uint64        // generation of the last mutation, under mu
+	_      [40]byte      // pad to reduce false sharing between adjacent locks
 }
 
 // StoreOption configures a Store at construction.
@@ -223,6 +229,13 @@ func (s *Store[K]) stripeFor(key K) *storeStripe[K] {
 	return &s.stripes[s.stripeIndex(s.hashKey(key))]
 }
 
+// touchLocked stamps a stripe dirty at the current generation. Every
+// path that mutates stripe state — adds, batch ingest, merge, remove,
+// reset, and eviction (which may victimize a stripe other than the one
+// being inserted into) — calls it with the stripe's lock held, so
+// MarshalStripes can encode exactly the stripes touched since a cut.
+func (s *Store[K]) touchLocked(st *storeStripe[K]) { st.modGen = s.gen.Load() }
+
 // counterLocked returns key's counter, materializing (and, at the key
 // limit, evicting) under the stripe lock the caller holds. A string key
 // is cloned on materialization: the map must own its key storage, because
@@ -263,6 +276,7 @@ func (s *Store[K]) evictOneLocked(st *storeStripe[K], incoming K) {
 				continue
 			}
 			delete(cand.m, k)
+			s.touchLocked(cand)
 			s.keys.Add(-1)
 			if s.onEvict != nil {
 				s.onEvict(k, c)
@@ -294,6 +308,7 @@ func (s *Store[K]) evictOneLocked(st *storeStripe[K], incoming K) {
 func (s *Store[K]) Add(key K, item []byte) bool {
 	st := s.stripeFor(key)
 	st.mu.Lock()
+	s.touchLocked(st)
 	changed := s.counterLocked(st, key).Add(item)
 	st.mu.Unlock()
 	return changed
@@ -304,6 +319,7 @@ func (s *Store[K]) Add(key K, item []byte) bool {
 func (s *Store[K]) AddUint64(key K, item uint64) bool {
 	st := s.stripeFor(key)
 	st.mu.Lock()
+	s.touchLocked(st)
 	changed := s.counterLocked(st, key).AddUint64(item)
 	st.mu.Unlock()
 	return changed
@@ -314,6 +330,7 @@ func (s *Store[K]) AddUint64(key K, item uint64) bool {
 func (s *Store[K]) AddString(key K, item string) bool {
 	st := s.stripeFor(key)
 	st.mu.Lock()
+	s.touchLocked(st)
 	changed := s.counterLocked(st, key).AddString(item)
 	st.mu.Unlock()
 	return changed
@@ -563,6 +580,7 @@ func (s *Store[K]) AddBatchString(keys []K, items []string) int {
 // contiguously first) at or above it.
 func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []uint64) int {
 	seg := sc.recs[start:end]
+	s.touchLocked(st)
 	changed := 0
 	for j := 0; j < len(seg); {
 		k := j + 1
@@ -591,6 +609,7 @@ func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start
 // ingestStringLocked is ingest64Locked for string items.
 func (s *Store[K]) ingestStringLocked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []string) int {
 	seg := sc.recs[start:end]
+	s.touchLocked(st)
 	changed := 0
 	for j := 0; j < len(seg); {
 		k := j + 1
@@ -665,6 +684,7 @@ func (s *Store[K]) Remove(key K) bool {
 	_, ok := st.m[key]
 	if ok {
 		delete(st.m, key)
+		s.touchLocked(st)
 		s.keys.Add(-1)
 	}
 	st.mu.Unlock()
@@ -799,6 +819,7 @@ func (s *Store[K]) Reset() {
 		st.mu.Lock()
 		s.keys.Add(-int64(len(st.m)))
 		st.m = make(map[K]Counter)
+		s.touchLocked(st)
 		st.mu.Unlock()
 	}
 }
@@ -837,6 +858,7 @@ func (s *Store[K]) Merge(other *Store[K]) error {
 			// stripe index in both stores; locks are never held pairwise.
 			st := &s.stripes[s.stripeIndex(s.hashKey(key))]
 			st.mu.Lock()
+			s.touchLocked(st)
 			dst := s.counterLocked(st, key)
 			err := Merge(dst, srcs[j])
 			st.mu.Unlock()
@@ -900,21 +922,10 @@ func (s *Store[K]) MarshalBinary() ([]byte, error) {
 	count := uint64(0)
 	var err error
 	s.ForEach(func(key K, c Counter) bool {
-		var blob []byte
-		blob, err = Marshal(c)
+		payload, err = s.appendStoreEntry(payload, key, c)
 		if err != nil {
-			err = fmt.Errorf("sbitmap: store key %v: %w", key, err)
 			return false
 		}
-		if keyIsString[K]() {
-			ks := keyString(key)
-			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(ks)))
-			payload = append(payload, ks...)
-		} else {
-			payload = binary.LittleEndian.AppendUint64(payload, keyWord(key))
-		}
-		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(blob)))
-		payload = append(payload, blob...)
 		count++
 		return true
 	})
@@ -972,38 +983,11 @@ func UnmarshalStore[K StoreKey](data []byte, opts ...StoreOption) (*Store[K], er
 		return nil, err
 	}
 	for i := uint64(0); i < count; i++ {
-		var key K
-		if keyCode == storeKeyString {
-			if len(payload) < 4 {
-				return nil, fmt.Errorf("%w: store key %d header", ErrTruncated, i)
-			}
-			klen := int(binary.LittleEndian.Uint32(payload))
-			payload = payload[4:]
-			if klen > len(payload) {
-				return nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
-			}
-			key = keyFromString[K](string(payload[:klen]))
-			payload = payload[klen:]
-		} else {
-			if len(payload) < 8 {
-				return nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
-			}
-			key = keyFromWord[K](binary.LittleEndian.Uint64(payload))
-			payload = payload[8:]
-		}
-		if len(payload) < 4 {
-			return nil, fmt.Errorf("%w: store counter %d header", ErrTruncated, i)
-		}
-		blen := int(binary.LittleEndian.Uint32(payload))
-		payload = payload[4:]
-		if blen > len(payload) {
-			return nil, fmt.Errorf("%w: store counter %d", ErrTruncated, i)
-		}
-		c, err := Unmarshal(payload[:blen], specOpts...)
+		key, c, rest, err := decodeStoreEntry[K](payload, i, specOpts)
 		if err != nil {
-			return nil, fmt.Errorf("sbitmap: store key %v: %w", key, err)
+			return nil, err
 		}
-		payload = payload[blen:]
+		payload = rest
 		st := &s.stripes[s.stripeIndex(s.hashKey(key))]
 		if _, dup := st.m[key]; dup {
 			return nil, fmt.Errorf("sbitmap: store snapshot repeats key %v", key)
@@ -1015,4 +999,213 @@ func UnmarshalStore[K StoreKey](data []byte, opts ...StoreOption) (*Store[K], er
 		return nil, fmt.Errorf("sbitmap: %d trailing bytes after last store entry", len(payload))
 	}
 	return s, nil
+}
+
+// appendStoreEntry appends one (key, counter) pair in the container's
+// per-key layout — shared by the whole-store snapshot (MarshalBinary) and
+// the per-stripe snapshots (MarshalStripes).
+func (s *Store[K]) appendStoreEntry(payload []byte, key K, c Counter) ([]byte, error) {
+	blob, err := Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("sbitmap: store key %v: %w", key, err)
+	}
+	if s.isStr {
+		ks := keyString(key)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(ks)))
+		payload = append(payload, ks...)
+	} else {
+		payload = binary.LittleEndian.AppendUint64(payload, keyWord(key))
+	}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(blob)))
+	payload = append(payload, blob...)
+	return payload, nil
+}
+
+// decodeStoreEntry decodes one (key, counter) pair and returns the
+// remaining payload — the inverse of appendStoreEntry, shared by
+// UnmarshalStore and RestoreStripe. i labels truncation errors.
+func decodeStoreEntry[K StoreKey](payload []byte, i uint64, specOpts []Option) (key K, c Counter, rest []byte, err error) {
+	if keyIsString[K]() {
+		if len(payload) < 4 {
+			return key, nil, nil, fmt.Errorf("%w: store key %d header", ErrTruncated, i)
+		}
+		klen := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		if klen > len(payload) {
+			return key, nil, nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
+		}
+		key = keyFromString[K](string(payload[:klen]))
+		payload = payload[klen:]
+	} else {
+		if len(payload) < 8 {
+			return key, nil, nil, fmt.Errorf("%w: store key %d", ErrTruncated, i)
+		}
+		key = keyFromWord[K](binary.LittleEndian.Uint64(payload))
+		payload = payload[8:]
+	}
+	if len(payload) < 4 {
+		return key, nil, nil, fmt.Errorf("%w: store counter %d header", ErrTruncated, i)
+	}
+	blen := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if blen > len(payload) {
+		return key, nil, nil, fmt.Errorf("%w: store counter %d", ErrTruncated, i)
+	}
+	c, err = Unmarshal(payload[:blen], specOpts...)
+	if err != nil {
+		return key, nil, nil, fmt.Errorf("sbitmap: store key %v: %w", key, err)
+	}
+	return key, c, payload[blen:], nil
+}
+
+// Per-stripe snapshot format (the unit of an incremental checkpoint):
+//
+//	[0:4]  magic "SBS1"
+//	[4]    version (1)
+//	[5]    key type (1 = uint64, 2 = string)
+//	[6:14] key count (little-endian uint64)
+//	per key: as in the whole-store container (appendStoreEntry)
+//
+// Unlike the whole-store container there is no spec: a stripe snapshot is
+// only meaningful under the checkpoint manifest that names it, and the
+// manifest carries the spec once for all stripes.
+const (
+	stripeSnapMagic   = "SBS1"
+	stripeSnapVersion = 1
+	stripeSnapHeader  = 14
+)
+
+// StripeSnapshotKeys reports how many keys a MarshalStripes blob holds,
+// without decoding it — a checkpointer uses this to skip durably writing
+// empty stripes.
+func StripeSnapshotKeys(blob []byte) (int, error) {
+	if len(blob) < stripeSnapHeader || string(blob[:4]) != stripeSnapMagic {
+		return 0, fmt.Errorf("sbitmap: not a stripe snapshot")
+	}
+	return int(binary.LittleEndian.Uint64(blob[6:])), nil
+}
+
+// Generation returns the current dirty-tracking generation. Mutations
+// stamp their stripe with this value; MarshalStripes(g) encodes exactly
+// the stripes stamped at or after g.
+func (s *Store[K]) Generation() uint64 { return s.gen.Load() }
+
+// SetGeneration fast-forwards the dirty-tracking generation, so a store
+// rebuilt from a checkpoint resumes the writer's epoch: stripes restored
+// from the checkpoint stay clean relative to it, and the next incremental
+// checkpoint (since = the manifest's generation) captures only what was
+// mutated afterwards. Call before concurrent use.
+func (s *Store[K]) SetGeneration(g uint64) { s.gen.Store(g) }
+
+// StripeCount returns the number of lock stripes.
+func (s *Store[K]) StripeCount() int { return len(s.stripes) }
+
+// DirtyStripes counts the stripes mutated at or after generation since
+// (every stripe when since is 0). Safe for concurrent use.
+func (s *Store[K]) DirtyStripes(since uint64) int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if st.modGen >= since {
+			n++
+		}
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// MarshalStripes encodes every stripe mutated at or after generation
+// since into its own snapshot blob, keyed by stripe index, and returns
+// the cut: the new generation that supersedes the snapshot. since = 0
+// takes a full checkpoint (every stripe, touched or not); since = a
+// previous cut takes an incremental one whose cost scales with how many
+// stripes were written since, not with total key count.
+//
+// The protocol: mutations stamp their stripe with Generation();
+// MarshalStripes advances the generation first, so a mutation landing
+// after the cut stamps >= cut and is seen by the next incremental pass
+// even if it raced this one. Each stripe is encoded under its own lock
+// (internally consistent), but for a globally exact cut — required when
+// the snapshot is paired with a log replayed from the cut — the caller
+// must quiesce writers across the call, as the checkpointing server's
+// ingest gate does.
+func (s *Store[K]) MarshalStripes(since uint64) (blobs map[int][]byte, cut uint64, err error) {
+	cut = s.gen.Add(1)
+	blobs = make(map[int][]byte)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if st.modGen < since {
+			st.mu.Unlock()
+			continue
+		}
+		payload := make([]byte, 0, stripeSnapHeader+48*len(st.m))
+		payload = append(payload, stripeSnapMagic...)
+		payload = append(payload, stripeSnapVersion, storeKeyCode[K]())
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(len(st.m)))
+		for k, c := range st.m {
+			payload, err = s.appendStoreEntry(payload, k, c)
+			if err != nil {
+				st.mu.Unlock()
+				return nil, 0, err
+			}
+		}
+		st.mu.Unlock()
+		blobs[i] = payload
+	}
+	return blobs, cut, nil
+}
+
+// RestoreStripe decodes one MarshalStripes blob into the store,
+// re-hashing every key onto the store's own stripes — the blob's origin
+// stripe index is irrelevant, so a snapshot restores correctly even if
+// the stripe count changed across restarts (same spec ⇒ same key
+// placement within a stripe count). Returns the number of keys restored.
+// Keys already present are an error (stripe snapshots from one
+// checkpoint are disjoint by construction), as is exceeding a WithMaxKeys
+// limit: restoring never silently drops keys.
+func (s *Store[K]) RestoreStripe(blob []byte) (int, error) {
+	if len(blob) < stripeSnapHeader {
+		return 0, fmt.Errorf("%w: stripe snapshot header", ErrTruncated)
+	}
+	if string(blob[:4]) != stripeSnapMagic {
+		return 0, fmt.Errorf("sbitmap: stripe snapshot magic %q, want %q", blob[:4], stripeSnapMagic)
+	}
+	if blob[4] != stripeSnapVersion {
+		return 0, fmt.Errorf("sbitmap: stripe snapshot version %d, want %d", blob[4], stripeSnapVersion)
+	}
+	if blob[5] != storeKeyCode[K]() {
+		kinds := map[byte]string{storeKeyUint64: "uint64", storeKeyString: "string"}
+		return 0, fmt.Errorf("sbitmap: stripe snapshot has %s keys, not %s",
+			kinds[blob[5]], kinds[storeKeyCode[K]()])
+	}
+	count := binary.LittleEndian.Uint64(blob[6:])
+	payload := blob[stripeSnapHeader:]
+	specOpts, err := s.spec.options()
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < count; i++ {
+		key, c, rest, err := decodeStoreEntry[K](payload, i, specOpts)
+		if err != nil {
+			return int(i), err
+		}
+		payload = rest
+		st := &s.stripes[s.stripeIndex(s.hashKey(key))]
+		st.mu.Lock()
+		if _, dup := st.m[key]; dup {
+			st.mu.Unlock()
+			return int(i), fmt.Errorf("sbitmap: stripe snapshot repeats key %v", key)
+		}
+		st.m[key] = c
+		st.mu.Unlock()
+		if n := s.keys.Add(1); s.limit > 0 && n > int64(s.limit) {
+			return int(i) + 1, fmt.Errorf("sbitmap: stripe restore exceeds the WithMaxKeys limit %d", s.limit)
+		}
+	}
+	if len(payload) != 0 {
+		return int(count), fmt.Errorf("sbitmap: %d trailing bytes after last stripe entry", len(payload))
+	}
+	return int(count), nil
 }
