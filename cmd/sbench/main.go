@@ -100,6 +100,14 @@ func main() {
 		return
 	}
 
+	if *run == "window" {
+		if err := runWindow(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -115,6 +123,8 @@ func main() {
 			"counting-service benchmark (loopback HTTP ingest: per-item vs NDJSON vs binary frame, query latency; -json writes BENCH_server.json)")
 		fmt.Printf("  %-16s %s\n", "cluster",
 			"cluster-mode benchmark (3-node loopback ring: partitioned frame ingest vs single node, scatter-gather query latency; -json writes BENCH_cluster.json)")
+		fmt.Printf("  %-16s %s\n", "window",
+			"sliding-window benchmark (ring rotation cost, merge-on-query latency, per-key bytes at ring=5, loopback twin equivalence; -json writes BENCH_window.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

@@ -13,6 +13,15 @@
 //	        -fsync interval -max-durability-lag 5s
 //	sketchd -addr :8287 -tcp-addr :8288          # raw TCP frame ingest
 //	sketchd -addr :8287 -pprof-addr 127.0.0.1:6060
+//	sketchd -spec "hll:mbits=4096" -window 1m -ring 5   # sliding windows
+//
+// With -window (and optionally -ring), the spec gains the
+// windowed(width=...,ring=...) modifier: every key keeps a ring of
+// per-sub-window sketches, ingest may carry record timestamps (frame v2,
+// or an NDJSON "ts" field), and GET /v1/estimate?key=K&window=5m answers
+// over the trailing span by merging the covering sub-windows (mergeable
+// kinds) or reporting the last complete sub-window (S-bitmap, marked
+// tumbling). Equivalent to writing the modifier into -spec directly.
 //
 // With -tcp-addr, the same binary add frames POST /v1/add accepts are
 // also ingested over raw TCP (length-prefixed, acked per frame — see
@@ -46,7 +55,7 @@
 //
 //	POST /v1/add         NDJSON {"key":...,"item":...} lines, or a binary
 //	                     add frame (Content-Type application/x-sbitmap-frame)
-//	GET  /v1/estimate    ?key=K
+//	GET  /v1/estimate    ?key=K [&window=5m]
 //	GET  /v1/topk        ?k=N
 //	GET  /v1/stats       totals + live metrics
 //	POST /v1/merge       Store snapshot envelope from a peer
@@ -111,6 +120,8 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		fsyncInt = fs.Duration("fsync-interval", 0, "max age of unsynced WAL bytes under -fsync interval (0 = 100ms default)")
 		walSeg   = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 64 MiB default)")
 		maxLag   = fs.Duration("max-durability-lag", 0, "degrade /v1/healthz to 503 when acked-but-not-durable data is older than this (0 = never)")
+		window   = fs.Duration("window", 0, "sub-window width for sliding-window counting (adds windowed(width=...) to the spec; 0 = disabled)")
+		ring     = fs.Int("ring", 0, "sub-windows retained per key (needs -window; 0 = library default of 5)")
 		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
 		stripes  = fs.Int("stripes", 0, "store lock-stripe count (0 = library default)")
 		maxBody  = fs.Int64("max-body", 0, "request body limit in bytes (0 = 32 MiB default)")
@@ -128,6 +139,34 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 	spec, err := sbitmap.ParseSpec(*specStr)
 	if err != nil {
 		return config{}, err
+	}
+	if *window < 0 {
+		return config{}, fmt.Errorf("-window %v is negative", *window)
+	}
+	if *ring < 0 {
+		return config{}, fmt.Errorf("-ring %d is negative", *ring)
+	}
+	if *ring > 0 && *window == 0 && !spec.Windowed() {
+		return config{}, fmt.Errorf("-ring needs -window (or a windowed(...) modifier in -spec)")
+	}
+	if *window > 0 || (*ring > 0 && spec.Windowed()) {
+		if *window > 0 {
+			if spec.Windowed() {
+				return config{}, fmt.Errorf("-window conflicts with the windowed(...) modifier already in -spec %q; set the width in one place", *specStr)
+			}
+			spec.Window = *window
+		}
+		if *ring > 0 {
+			// -ring sizes the ring whether the width came from -window or
+			// from a windowed(...) modifier in -spec.
+			spec.Ring = *ring
+		}
+		// Round-trip through ParseSpec so flag-built windowed specs get the
+		// same validation (and ring default) as spec-string ones.
+		spec, err = sbitmap.ParseSpec(spec.String())
+		if err != nil {
+			return config{}, fmt.Errorf("-window/-ring: %w", err)
+		}
 	}
 	if *interval < 0 {
 		return config{}, fmt.Errorf("-checkpoint-interval %v is negative", *interval)

@@ -48,6 +48,43 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFlagsWindow(t *testing.T) {
+	// -window/-ring merge into the spec as the windowed(...) modifier.
+	cfg, err := parseFlags([]string{
+		"-spec", "hll:mbits=4096,seed=7", "-window", "1m", "-ring", "10",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.server.Spec.String(); got != "hll:mbits=4096,seed=7/windowed(width=1m0s,ring=10)" {
+		t.Errorf("spec = %s", got)
+	}
+	// -ring omitted: the library default is filled in.
+	cfg, err = parseFlags([]string{"-spec", "hll:mbits=4096", "-window", "30s"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Spec.Ring == 0 || !cfg.server.Spec.Windowed() || cfg.server.Spec.Window != 30*time.Second {
+		t.Errorf("spec = %+v", cfg.server.Spec)
+	}
+	// The modifier may equally live in -spec itself, flags untouched.
+	cfg, err = parseFlags([]string{"-spec", "hll:mbits=4096/windowed(width=2m,ring=3)"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Spec.Window != 2*time.Minute || cfg.server.Spec.Ring != 3 {
+		t.Errorf("spec = %+v", cfg.server.Spec)
+	}
+	// And -ring may size a modifier that set only the width.
+	cfg, err = parseFlags([]string{"-spec", "hll:mbits=4096/windowed(width=2m)", "-ring", "7"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.server.Spec.Window != 2*time.Minute || cfg.server.Spec.Ring != 7 {
+		t.Errorf("spec = %+v", cfg.server.Spec)
+	}
+}
+
 func TestParseFlagsCluster(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-spec", "hll:mbits=4096,seed=7", "-role", "edge",
@@ -88,6 +125,13 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"negative segment bytes", []string{"-wal-segment-bytes", "-1"}, "negative"},
 		{"negative durability lag", []string{"-max-durability-lag", "-1s"}, "negative"},
 		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"negative window", []string{"-window", "-1m"}, "-window"},
+		{"negative ring", []string{"-ring", "-2"}, "-ring"},
+		{"ring without window", []string{"-ring", "5"}, "-ring needs -window"},
+		{"ring out of range", []string{"-window", "1m", "-ring", "70000"}, "ring"},
+		{"window conflicts with spec modifier", []string{
+			"-spec", "hll:mbits=4096/windowed(width=1m)", "-window", "2m"}, "conflicts"},
+		{"flag retention overflow", []string{"-window", "2562047h", "-ring", "65536"}, "overflow"},
 		{"unknown role", []string{"-role", "router"}, "-role"},
 		{"edge without aggregator", []string{"-role", "edge"}, "-aggregator"},
 		{"edge with zero push interval", []string{"-role", "edge", "-aggregator", "http://agg:8287", "-push-interval", "0s"}, "push-interval"},

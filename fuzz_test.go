@@ -25,6 +25,19 @@ func FuzzParseSpec(f *testing.F) {
 		"sbitmap:eps=1e999",
 		"nope:mbits=1",
 		"sbitmap:n=1e6,eps=0.01,",
+		"hll:mbits=2048/windowed(width=1m)",
+		"hll:mbits=2048/windowed(width=1m,ring=5)",
+		"sbitmap:n=1e6,eps=0.01/windowed(width=30s,ring=12)",
+		"exact/windowed(width=1500ms,ring=1)",
+		"hll:mbits=2048/windowed(width=1m,width=2m)",
+		"hll:mbits=2048/windowed(width=1m,ring=0)",
+		"hll:mbits=2048/windowed(width=1m,ring=65537)",
+		"hll:mbits=2048/windowed(ring=5)",
+		"hll:mbits=2048/windowed(width=-1m)",
+		"hll:mbits=2048/windowed(width=2562047h,ring=65536)",
+		"hll:mbits=2048/windowed(width=1m",
+		"hll:mbits=2048/windowed(depth=3)",
+		"hll:mbits=2048/sliding(width=1m)",
 	} {
 		f.Add(seed)
 	}

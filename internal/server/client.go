@@ -158,11 +158,28 @@ func (c *Client) AddBatch64(ctx context.Context, keys []string, items []uint64) 
 	return res, err
 }
 
+// AddBatch64At is AddBatch64 with a record timestamp: the batch ships as
+// a version-2 frame whose timestamp files every record into ts's
+// sub-window on a windowed server (plain servers ignore it).
+func (c *Client) AddBatch64At(ctx context.Context, ts time.Time, keys []string, items []uint64) (AddResult, error) {
+	var res AddResult
+	err := c.do(ctx, http.MethodPost, "/v1/add", FrameContentType, AppendFrame64At(nil, ts, keys, items), &res)
+	return res, err
+}
+
 // AddBatchString ingests (keys[i], items[i]) records with string items
 // through the compact binary frame. Panics if the slice lengths differ.
 func (c *Client) AddBatchString(ctx context.Context, keys, items []string) (AddResult, error) {
 	var res AddResult
 	err := c.do(ctx, http.MethodPost, "/v1/add", FrameContentType, AppendFrameString(nil, keys, items), &res)
+	return res, err
+}
+
+// AddBatchStringAt is AddBatchString with a record timestamp (see
+// AddBatch64At).
+func (c *Client) AddBatchStringAt(ctx context.Context, ts time.Time, keys, items []string) (AddResult, error) {
+	var res AddResult
+	err := c.do(ctx, http.MethodPost, "/v1/add", FrameContentType, AppendFrameStringAt(nil, ts, keys, items), &res)
 	return res, err
 }
 
@@ -179,6 +196,26 @@ func (c *Client) Estimate(ctx context.Context, key string) (estimate float64, ok
 		return 0, false, err
 	}
 	return res.Estimate, true, nil
+}
+
+// EstimateWindow returns key's distinct-count estimate over the trailing
+// span, via /v1/estimate?window=. ok is false (with a nil error) if the
+// server has never seen the key; a server without the windowed(...) spec
+// modifier, or a span wider than its retention, returns an *APIError
+// with code CodeWindowNotConf or CodeBadWindow respectively. The full
+// EstimateResult carries the covered interval and the tumbling marker.
+func (c *Client) EstimateWindow(ctx context.Context, key string, span time.Duration) (EstimateResult, bool, error) {
+	var res EstimateResult
+	err := c.do(ctx, http.MethodGet,
+		"/v1/estimate?key="+url.QueryEscape(key)+"&window="+url.QueryEscape(span.String()), "", nil, &res)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Code == CodeUnknownKey {
+		return EstimateResult{}, false, nil
+	}
+	if err != nil {
+		return EstimateResult{}, false, err
+	}
+	return res, true, nil
 }
 
 // TopK returns the server's k keys with the largest estimates, in

@@ -73,14 +73,20 @@ const manifestName = "MANIFEST.json"
 // cut at (the next incremental pass's "since"), and the WAL LSN replay
 // resumes from. Stripes absent from Files held no keys at the cut.
 type manifest struct {
-	Version  int            `json:"version"`
-	Spec     string         `json:"spec"`
-	Gen      uint64         `json:"generation"`
-	WALLSN   uint64         `json:"wal_lsn"`
-	Stripes  int            `json:"stripes"`
-	Keys     int            `json:"keys"`
-	UnixNano int64          `json:"unix_nano"`
-	Files    []manifestFile `json:"files"`
+	Version  int    `json:"version"`
+	Spec     string `json:"spec"`
+	Gen      uint64 `json:"generation"`
+	WALLSN   uint64 `json:"wal_lsn"`
+	Stripes  int    `json:"stripes"`
+	Keys     int    `json:"keys"`
+	UnixNano int64  `json:"unix_nano"`
+	// Watermark records a windowed store's sub-window position at the
+	// cut (see sbitmap.Store.WindowState). Optional: absent for
+	// unwindowed specs and for manifests written before windowing
+	// existed — restore then re-derives the watermark from ring
+	// contents alone.
+	Watermark *int64         `json:"watermark,omitempty"`
+	Files     []manifestFile `json:"files"`
 }
 
 // manifestFile names one stripe's snapshot file with enough redundancy
@@ -130,6 +136,10 @@ func (s *Server) Checkpoint() (CheckpointInfo, error) {
 	}
 	pendingAtCut := s.walPending.Load()
 	mutationsAtCut := s.mutations.Load()
+	var watermark *int64
+	if wm, _, ok := s.store.WindowState(); ok && wm != sbitmap.WindowWatermarkNone {
+		watermark = &wm
+	}
 	blobs, cut, err := s.store.MarshalStripes(since)
 	keys := s.store.Len()
 	s.gate.Unlock()
@@ -180,13 +190,14 @@ func (s *Server) Checkpoint() (CheckpointInfo, error) {
 	}
 
 	man := &manifest{
-		Version:  1,
-		Spec:     s.store.Spec().String(),
-		Gen:      cut,
-		WALLSN:   lsn,
-		Stripes:  s.store.StripeCount(),
-		Keys:     keys,
-		UnixNano: start.UnixNano(),
+		Version:   1,
+		Spec:      s.store.Spec().String(),
+		Gen:       cut,
+		WALLSN:    lsn,
+		Stripes:   s.store.StripeCount(),
+		Keys:      keys,
+		UnixNano:  start.UnixNano(),
+		Watermark: watermark,
 	}
 	for _, f := range files {
 		man.Files = append(man.Files, f)
@@ -312,6 +323,12 @@ func loadManifest(dir string, spec sbitmap.Spec, opts []sbitmap.StoreOption) (*m
 		return nil, nil, 0, fmt.Errorf("%w: refusing to start: stripe files restore %d keys, manifest records %d", ErrCorruptCheckpoint, total, man.Keys)
 	}
 	st.SetGeneration(man.Gen)
+	if man.Watermark != nil {
+		// Stripe decode already re-derived a watermark from ring
+		// contents; the recorded one only advances it (covers the case
+		// where the watermark window's keys were all empty or evicted).
+		st.SetWindowState(*man.Watermark, -1)
+	}
 	return &man, st, total, nil
 }
 

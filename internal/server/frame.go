@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 	"unsafe"
 )
 
@@ -16,15 +17,24 @@ import (
 // Layout (little-endian):
 //
 //	[0:4]   magic "SBF1"
-//	[4]     format version (currently 1)
+//	[4]     format version (1 or 2)
 //	[5]     item type: 1 = uint64 items, 2 = string items
 //	[6:10]  record count (uint32)
+//	[10:18] record timestamp, unix nanoseconds (int64) — version 2 only
 //	per record:
 //	        uvarint key length, key bytes
 //	        item: 8-byte uint64 (type 1) | uvarint length + bytes (type 2)
 //
 // Uvarint key/item lengths keep the common case (short flow keys) at one
 // length byte per field — the "compact" in compact frame.
+//
+// Version 2 adds one per-frame timestamp — the capture instant an
+// exporter stamps on the whole batch, which a windowed store uses to
+// place the records in time (Store.AddBatch64At). It is caller-supplied
+// so replayed traces and WAL recovery reproduce identical windows; a
+// version-1 frame means "no timestamp" and lands in the watermark
+// window. Decoders accept both versions; encoders emit version 1 unless
+// the caller asks for a timestamp (AppendFrame64At / AppendFrameStringAt).
 
 // FrameContentType is the Content-Type under which /v1/add expects a
 // binary add frame. Any other Content-Type is read as NDJSON.
@@ -33,8 +43,12 @@ const FrameContentType = "application/x-sbitmap-frame"
 // frameMagic tags add frames ("SBF1" read as a little-endian uint32).
 const frameMagic = uint32(0x31464253)
 
-// frameVersion is the current frame format version.
-const frameVersion = 1
+// Frame format versions: v1 has no timestamp, v2 carries one per-frame
+// record timestamp after the count.
+const (
+	frameVersion   = 1
+	frameVersionTS = 2
+)
 
 // Frame item types.
 const (
@@ -54,6 +68,12 @@ type Frame struct {
 	Items64     []uint64
 	ItemsString []string
 
+	// TSNanos is the frame's record timestamp (unix nanoseconds), valid
+	// only when HasTS is set (version-2 frames). Zero-valued pairs mean an
+	// untimestamped version-1 frame.
+	TSNanos int64
+	HasTS   bool
+
 	// spare64/spareS park the capacity of whichever item slice the last
 	// decode did not select, so a reused Frame stays allocation-free even
 	// when consecutive frames alternate item types while Items64 /
@@ -69,6 +89,15 @@ func appendFrameHeader(dst []byte, itemType byte, n int) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, frameMagic)
 	dst = append(dst, frameVersion, itemType)
 	return binary.LittleEndian.AppendUint32(dst, uint32(n))
+}
+
+// appendFrameHeaderTS is appendFrameHeader for version-2 (timestamped)
+// frames.
+func appendFrameHeaderTS(dst []byte, itemType byte, n int, tsNanos int64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, frameMagic)
+	dst = append(dst, frameVersionTS, itemType)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	return binary.LittleEndian.AppendUint64(dst, uint64(tsNanos))
 }
 
 // AppendFrame64 appends the frame encoding of (keys[i], items[i]) records
@@ -95,6 +124,38 @@ func AppendFrameString(dst []byte, keys, items []string) []byte {
 		panic(fmt.Sprintf("server: AppendFrameString with %d keys and %d items", len(keys), len(items)))
 	}
 	dst = appendFrameHeader(dst, frameItemsString, len(keys))
+	for i, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.AppendUvarint(dst, uint64(len(items[i])))
+		dst = append(dst, items[i]...)
+	}
+	return dst
+}
+
+// AppendFrame64At is AppendFrame64 with a record timestamp shared by the
+// whole frame: it emits a version-2 frame whose records a windowed store
+// places in ts's sub-window.
+func AppendFrame64At(dst []byte, ts time.Time, keys []string, items []uint64) []byte {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("server: AppendFrame64At with %d keys and %d items", len(keys), len(items)))
+	}
+	dst = appendFrameHeaderTS(dst, frameItems64, len(keys), ts.UnixNano())
+	for i, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.LittleEndian.AppendUint64(dst, items[i])
+	}
+	return dst
+}
+
+// AppendFrameStringAt is AppendFrameString with a record timestamp
+// shared by the whole frame (version-2 encoding); see AppendFrame64At.
+func AppendFrameStringAt(dst []byte, ts time.Time, keys, items []string) []byte {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("server: AppendFrameStringAt with %d keys and %d items", len(keys), len(items)))
+	}
+	dst = appendFrameHeaderTS(dst, frameItemsString, len(keys), ts.UnixNano())
 	for i, k := range keys {
 		dst = binary.AppendUvarint(dst, uint64(len(k)))
 		dst = append(dst, k...)
@@ -164,14 +225,16 @@ func (f *Frame) decode(data []byte, copyStrings bool) error {
 	if f.ItemsString != nil {
 		f.spareS, f.ItemsString = f.ItemsString[:0], nil
 	}
+	f.TSNanos, f.HasTS = 0, false
 	if len(data) < 10 {
 		return fmt.Errorf("server: truncated frame: header needs 10 bytes, have %d", len(data))
 	}
 	if binary.LittleEndian.Uint32(data) != frameMagic {
 		return fmt.Errorf("server: bad frame magic (not an add frame)")
 	}
-	if v := data[4]; v != frameVersion {
-		return fmt.Errorf("server: unsupported frame version %d (this build reads version %d)", v, frameVersion)
+	version := data[4]
+	if version != frameVersion && version != frameVersionTS {
+		return fmt.Errorf("server: unsupported frame version %d (this build reads versions %d and %d)", version, frameVersion, frameVersionTS)
 	}
 	itemType := data[5]
 	if itemType != frameItems64 && itemType != frameItemsString {
@@ -179,6 +242,13 @@ func (f *Frame) decode(data []byte, copyStrings bool) error {
 	}
 	count := int(binary.LittleEndian.Uint32(data[6:]))
 	rest := data[10:]
+	if version == frameVersionTS {
+		if len(rest) < 8 {
+			return fmt.Errorf("server: truncated frame: version-2 header needs a timestamp, have %d bytes", len(rest))
+		}
+		f.TSNanos, f.HasTS = int64(binary.LittleEndian.Uint64(rest)), true
+		rest = rest[8:]
+	}
 	// Every record costs at least one key-length byte plus its item (8
 	// bytes for uint64 items, one length byte for string items); a count
 	// that cannot fit is rejected before any allocation sized by it.

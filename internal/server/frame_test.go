@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip64(t *testing.T) {
@@ -37,6 +38,49 @@ func TestFrameRoundTripString(t *testing.T) {
 		if f.Keys[i] != keys[i] || f.ItemsString[i] != items[i] {
 			t.Errorf("record %d mismatch", i)
 		}
+	}
+}
+
+func TestFrameRoundTripTimestamped(t *testing.T) {
+	// Version-2 frames carry one per-frame timestamp; both item types, a
+	// pre-epoch instant included (the field is a signed unix-nano).
+	for _, ts := range []time.Time{
+		time.Unix(0, 1723000000123456789),
+		time.Unix(0, 0),
+		time.Unix(0, -5e9),
+	} {
+		f, err := DecodeFrame(AppendFrame64At(nil, ts, []string{"k1", "k2"}, []uint64{1, 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.HasTS || f.TSNanos != ts.UnixNano() || f.Records() != 2 {
+			t.Errorf("64 at %v: HasTS=%v TSNanos=%d", ts, f.HasTS, f.TSNanos)
+		}
+		f, err = DecodeFrame(AppendFrameStringAt(nil, ts, []string{"k"}, []string{"item"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.HasTS || f.TSNanos != ts.UnixNano() || f.ItemsString[0] != "item" {
+			t.Errorf("string at %v: HasTS=%v TSNanos=%d", ts, f.HasTS, f.TSNanos)
+		}
+	}
+	// Version-1 frames decode with no timestamp.
+	f, err := DecodeFrame(AppendFrame64(nil, []string{"k"}, []uint64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasTS || f.TSNanos != 0 {
+		t.Errorf("v1 frame decoded with HasTS=%v TSNanos=%d", f.HasTS, f.TSNanos)
+	}
+	// A reused Frame must drop the previous decode's timestamp.
+	if err := f.DecodeBorrowed(AppendFrame64At(nil, time.Unix(0, 42), []string{"k"}, []uint64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DecodeBorrowed(AppendFrame64(nil, []string{"k"}, []uint64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if f.HasTS || f.TSNanos != 0 {
+		t.Errorf("stale timestamp survived reuse: HasTS=%v TSNanos=%d", f.HasTS, f.TSNanos)
 	}
 }
 
@@ -83,6 +127,14 @@ func TestDecodeFrameErrors(t *testing.T) {
 	for cut := 10; cut < len(sf); cut++ {
 		if _, err := DecodeFrame(sf[:cut]); err == nil {
 			t.Errorf("string frame cut to %d accepted", cut)
+		}
+	}
+	// A version-2 frame truncated anywhere — inside the 8-byte timestamp
+	// included — must be rejected.
+	tf := AppendFrame64At(nil, time.Unix(0, 7), []string{"key"}, []uint64{1})
+	for cut := 0; cut < len(tf); cut++ {
+		if _, err := DecodeFrame(tf[:cut]); err == nil {
+			t.Errorf("timestamped frame cut to %d accepted", cut)
 		}
 	}
 }

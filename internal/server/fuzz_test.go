@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // FuzzFrame drives the SBF1 add-frame decoder with arbitrary bytes. The
@@ -39,6 +40,14 @@ func FuzzFrame(f *testing.F) {
 	f.Add([]byte{0x53, 0x42, 0x46, 0x31, 1, 2, 1, 0, 0, 0, 0x81, 0x00})
 	// Trailing garbage after a valid record.
 	f.Add(append(AppendFrame64(nil, []string{"k"}, []uint64{1}), 0xff))
+	// Version-2 (timestamped) frames: both item types, a pre-epoch
+	// timestamp, and truncations through the 8-byte timestamp field.
+	f.Add(AppendFrame64At(nil, time.Unix(0, 1723000000123456789), []string{"alice"}, []uint64{7}))
+	f.Add(AppendFrameStringAt(nil, time.Unix(0, -5e9), []string{"k"}, []string{"v"}))
+	tsf := AppendFrame64At(nil, time.Unix(0, 42), []string{"key"}, []uint64{9})
+	for _, cut := range []int{10, 12, 17, 18, len(tsf) - 1} {
+		f.Add(tsf[:cut])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := DecodeFrame(data)
@@ -64,11 +73,17 @@ func FuzzFrame(f *testing.F) {
 				t.Fatalf("record %d: key length %d escaped validation", i, len(k))
 			}
 		}
-		// Fixed point: re-encode (minimal uvarints) and decode again.
+		// Fixed point: re-encode (minimal uvarints, preserving the
+		// version-2 timestamp when present) and decode again.
 		var reenc []byte
-		if fr.Items64 != nil {
+		switch {
+		case fr.Items64 != nil && fr.HasTS:
+			reenc = AppendFrame64At(nil, time.Unix(0, fr.TSNanos), fr.Keys, fr.Items64)
+		case fr.Items64 != nil:
 			reenc = AppendFrame64(nil, fr.Keys, fr.Items64)
-		} else {
+		case fr.HasTS:
+			reenc = AppendFrameStringAt(nil, time.Unix(0, fr.TSNanos), fr.Keys, fr.ItemsString)
+		default:
 			reenc = AppendFrameString(nil, fr.Keys, fr.ItemsString)
 		}
 		fr2, err := DecodeFrame(reenc)

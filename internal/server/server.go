@@ -6,10 +6,13 @@
 // The API surface (all JSON unless noted):
 //
 //	POST /v1/add         ingest a batch: NDJSON {"key":...,"item":...}
-//	                     lines, or a compact binary add frame
+//	                     lines (optionally timestamped with "ts", unix
+//	                     nanoseconds), or a compact binary add frame
 //	                     (Content-Type application/x-sbitmap-frame) that
 //	                     decodes straight onto the Store's keyed batch path
-//	GET  /v1/estimate    ?key=K — one key's distinct-count estimate
+//	GET  /v1/estimate    ?key=K — one key's distinct-count estimate;
+//	                     &window=5m answers over the trailing window on a
+//	                     store built with the windowed(...) spec modifier
 //	GET  /v1/topk        ?k=N — heavy hitters by estimate
 //	GET  /v1/stats       store totals, spec, and live ingest/query metrics
 //	POST /v1/merge       body is a Store snapshot envelope from a peer or
@@ -312,6 +315,8 @@ const (
 	CodeBadSnapshot     = "bad_snapshot"
 	CodeMissingKey      = "missing_key"
 	CodeUnknownKey      = "unknown_key"
+	CodeBadWindow       = "bad_window"
+	CodeWindowNotConf   = "window_not_configured"
 	CodeTooLarge        = "payload_too_large"
 	CodeSpecMismatch    = "spec_mismatch"
 	CodeNotMergeable    = "not_mergeable"
@@ -345,10 +350,24 @@ type AddResult struct {
 	Changed int `json:"changed"`
 }
 
-// EstimateResult is the /v1/estimate response.
+// EstimateResult is the /v1/estimate response. The window fields are
+// present only for ?window= queries against a windowed store.
 type EstimateResult struct {
 	Key      string  `json:"key"`
 	Estimate float64 `json:"estimate"`
+
+	// Window echoes the requested trailing span; Windows is how many
+	// live sub-window sketches contributed. WindowStartUnixNano /
+	// WindowEndUnixNano bound the covered interval [start, end) on the
+	// unix epoch timeline, anchored at the store's watermark (queries
+	// never consult the wall clock). Tumbling marks the non-mergeable
+	// fallback: the estimate is the last complete sub-window's,
+	// regardless of the requested span.
+	Window              string `json:"window,omitempty"`
+	Windows             int    `json:"windows,omitempty"`
+	WindowStartUnixNano int64  `json:"window_start_unix_nano,omitempty"`
+	WindowEndUnixNano   int64  `json:"window_end_unix_nano,omitempty"`
+	Tumbling            bool   `json:"tumbling,omitempty"`
 }
 
 // Entry is one /v1/topk ranking entry.
@@ -382,15 +401,34 @@ type CheckpointInfo struct {
 	Incremental    bool    `json:"incremental"`
 }
 
+// WindowStats is the /v1/stats window block, present when the store's
+// spec carries a windowed(...) modifier.
+type WindowStats struct {
+	// Width and Ring echo the spec modifier; RetentionSeconds is their
+	// product — the widest ?window= span the store can answer.
+	Width            string  `json:"width"`
+	Ring             int     `json:"ring"`
+	RetentionSeconds float64 `json:"retention_seconds"`
+	// Watermark is the newest sub-window index any record has reached
+	// (the watermark window starts at watermark × width on the unix
+	// epoch timeline); absent before the first record.
+	Watermark *int64 `json:"watermark,omitempty"`
+	// LateRecords counts records that arrived more than ring
+	// sub-windows behind the watermark and were folded into the
+	// watermark window. Process-lifetime, monotone.
+	LateRecords int64 `json:"late_records"`
+}
+
 // Stats is the /v1/stats response: store totals plus live service
 // counters. All counters are monotone since process start.
 type Stats struct {
-	Spec           string  `json:"spec"`
-	Keys           int     `json:"keys"`
-	SizeBits       int     `json:"size_bits"`
-	FootprintBytes int     `json:"footprint_bytes"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	RestoredKeys   int     `json:"restored_keys"`
+	Spec           string       `json:"spec"`
+	Keys           int          `json:"keys"`
+	SizeBits       int          `json:"size_bits"`
+	FootprintBytes int          `json:"footprint_bytes"`
+	UptimeSeconds  float64      `json:"uptime_seconds"`
+	RestoredKeys   int          `json:"restored_keys"`
+	Window         *WindowStats `json:"window,omitempty"`
 
 	AddRequests   int64 `json:"add_requests"`
 	Records       int64 `json:"records"`
@@ -454,10 +492,14 @@ func bodyReadError(w http.ResponseWriter, err error) {
 // ndjsonMaxLine bounds one NDJSON record line.
 const ndjsonMaxLine = 1 << 20
 
-// ndjsonRecord is one NDJSON ingest line.
+// ndjsonRecord is one NDJSON ingest line. TS is an optional record
+// timestamp in unix nanoseconds for windowed stores (0 means
+// unstamped: the record lands in the store's current watermark
+// sub-window, exactly like an untimestamped frame).
 type ndjsonRecord struct {
 	Key  string `json:"key"`
 	Item string `json:"item"`
+	TS   int64  `json:"ts,omitempty"`
 }
 
 // ingestScratch is the pooled per-request state of the ingest path: the
@@ -470,7 +512,8 @@ type ingestScratch struct {
 	frame Frame
 	keys  []string
 	items []string
-	wal   []byte // NDJSON records re-encoded as a frame for the WAL
+	tss   []int64 // per-record NDJSON timestamps (unix nanos; 0 = none)
+	wal   []byte  // NDJSON records re-encoded as a frame for the WAL
 }
 
 var ingestPool = sync.Pool{New: func() any { return new(ingestScratch) }}
@@ -497,7 +540,7 @@ func (sc *ingestScratch) release() {
 	sc.frame.Release()
 	clear(sc.keys[:cap(sc.keys)])
 	clear(sc.items[:cap(sc.items)])
-	sc.keys, sc.items = sc.keys[:0], sc.items[:0]
+	sc.keys, sc.items, sc.tss = sc.keys[:0], sc.items[:0], sc.tss[:0]
 	ingestPool.Put(sc)
 }
 
@@ -537,13 +580,20 @@ func (s *Server) AddFrame(f *Frame) AddResult {
 	return res
 }
 
-// applyFrame applies a decoded frame to the store. Callers hold the
-// ingest gate shared.
+// applyFrame applies a decoded frame to the store, routing a version-2
+// frame's record timestamp onto the Store's timestamped batch path so a
+// windowed store files the records into the right sub-window. Callers
+// hold the ingest gate shared.
 func (s *Server) applyFrame(f *Frame) AddResult {
 	res := AddResult{Records: f.Records()}
-	if f.Items64 != nil {
+	switch {
+	case f.Items64 != nil && f.HasTS:
+		res.Changed = s.store.AddBatch64At(time.Unix(0, f.TSNanos), f.Keys, f.Items64)
+	case f.Items64 != nil:
 		res.Changed = s.store.AddBatch64(f.Keys, f.Items64)
-	} else {
+	case f.HasTS:
+		res.Changed = s.store.AddBatchStringAt(time.Unix(0, f.TSNanos), f.Keys, f.ItemsString)
+	default:
 		res.Changed = s.store.AddBatchString(f.Keys, f.ItemsString)
 	}
 	s.mutations.Add(1)
@@ -583,6 +633,24 @@ func (s *Server) ingestString(walFrame []byte, keys, items []string) (int, error
 		s.walPending.Add(walRecordBytes(len(walFrame)))
 	}
 	changed := s.store.AddBatchString(keys, items)
+	s.mutations.Add(1)
+	return changed, nil
+}
+
+// ingestStringAt is ingestString for a timestamped NDJSON run: the
+// records land in ts's sub-window, and walFrame (when a WAL is
+// configured) is the run re-encoded as a version-2 frame carrying the
+// same timestamp, so replay reproduces the window placement exactly.
+func (s *Server) ingestStringAt(walFrame []byte, ts time.Time, keys, items []string) (int, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wlog != nil {
+		if _, err := s.wlog.Append(walTagFrame, walFrame); err != nil {
+			return 0, fmt.Errorf("server: wal append: %w", err)
+		}
+		s.walPending.Add(walRecordBytes(len(walFrame)))
+	}
+	changed := s.store.AddBatchStringAt(ts, keys, items)
 	s.mutations.Add(1)
 	return changed, nil
 }
@@ -631,7 +699,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		keys, items := sc.keys, sc.items
+		keys, items, tss := sc.keys, sc.items, sc.tss
+		hasTS := false
 		sc2 := bufio.NewScanner(bytes.NewReader(data))
 		sc2.Buffer(make([]byte, 0, 64*1024), ndjsonMaxLine)
 		line := 0
@@ -652,20 +721,55 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			}
 			keys = append(keys, rec.Key)
 			items = append(items, rec.Item)
+			tss = append(tss, rec.TS)
+			hasTS = hasTS || rec.TS != 0
 		}
-		sc.keys, sc.items = keys, items
+		sc.keys, sc.items, sc.tss = keys, items, tss
 		if err := sc2.Err(); err != nil {
 			bodyReadError(w, err)
 			return
 		}
 		res.Records = len(keys)
-		if s.wlog != nil {
-			sc.wal = AppendFrameString(sc.wal[:0], keys, items)
-		}
-		res.Changed, err = s.ingestString(sc.wal, keys, items)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeWALWrite, "%v", err)
-			return
+		if !hasTS {
+			if s.wlog != nil {
+				sc.wal = AppendFrameString(sc.wal[:0], keys, items)
+			}
+			res.Changed, err = s.ingestString(sc.wal, keys, items)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, CodeWALWrite, "%v", err)
+				return
+			}
+		} else {
+			// Timestamped records: a frame carries one timestamp, so split
+			// the batch into maximal consecutive same-ts runs and ingest
+			// (and WAL-log) each as its own frame. Traces arrive in time
+			// order, so the common case is one run per batch.
+			for start := 0; start < len(keys); {
+				end := start + 1
+				for end < len(keys) && tss[end] == tss[start] {
+					end++
+				}
+				rk, ri := keys[start:end], items[start:end]
+				var changed int
+				if tss[start] == 0 {
+					if s.wlog != nil {
+						sc.wal = AppendFrameString(sc.wal[:0], rk, ri)
+					}
+					changed, err = s.ingestString(sc.wal, rk, ri)
+				} else {
+					ts := time.Unix(0, tss[start])
+					if s.wlog != nil {
+						sc.wal = AppendFrameStringAt(sc.wal[:0], ts, rk, ri)
+					}
+					changed, err = s.ingestStringAt(sc.wal, ts, rk, ri)
+				}
+				if err != nil {
+					writeError(w, http.StatusInternalServerError, CodeWALWrite, "%v", err)
+					return
+				}
+				res.Changed += changed
+				start = end
+			}
 		}
 	}
 	s.recordsTotal.Add(aff, int64(res.Records))
@@ -675,9 +779,44 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.queryRequests.Add(uintptr(unsafe.Pointer(r)), 1)
-	key := r.URL.Query().Get("key")
+	q := r.URL.Query()
+	key := q.Get("key")
 	if key == "" {
 		writeError(w, http.StatusBadRequest, CodeMissingKey, "estimate needs a ?key= parameter")
+		return
+	}
+	if raw := q.Get("window"); raw != "" {
+		span, err := time.ParseDuration(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadWindow,
+				"window=%q is not a duration (try 30s, 5m, 1h)", raw)
+			return
+		}
+		we, ok, err := s.store.EstimateWindow(key, span)
+		if err != nil {
+			if errors.Is(err, sbitmap.ErrNotWindowed) {
+				writeError(w, http.StatusBadRequest, CodeWindowNotConf,
+					"this store has no windowed(...) spec modifier; start the server with a windowed spec to enable ?window= queries")
+				return
+			}
+			// Remaining failures are span validation (ErrWindowSpan):
+			// non-positive, or wider than the configured retention.
+			writeError(w, http.StatusBadRequest, CodeBadWindow, "%v", err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeUnknownKey, "key %q has never been seen (or was evicted)", key)
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimateResult{
+			Key:                 key,
+			Estimate:            we.Estimate,
+			Window:              span.String(),
+			Windows:             we.Windows,
+			WindowStartUnixNano: we.Start.UnixNano(),
+			WindowEndUnixNano:   we.End.UnixNano(),
+			Tumbling:            we.Tumbling,
+		})
 		return
 	}
 	est, ok := s.store.Estimate(key)
@@ -743,6 +882,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ns := s.lastCkUnixNano.Load(); ns != 0 {
 		st.LastCkUnix = ns / int64(time.Second)
+	}
+	if wm, late, ok := s.store.WindowState(); ok {
+		spec := s.store.Spec()
+		ws := &WindowStats{
+			Width:            spec.Window.String(),
+			Ring:             spec.Ring,
+			RetentionSeconds: spec.Retention().Seconds(),
+			LateRecords:      late,
+		}
+		if wm != sbitmap.WindowWatermarkNone {
+			ws.Watermark = &wm
+		}
+		st.Window = ws
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 
 	sbitmap "repro"
 	"repro/internal/server"
@@ -51,6 +52,14 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(frameMsg(huge))
 	empty := server.AppendFrame64(nil, []string{"ok", ""}, []uint64{1, 2}) // empty key
 	f.Add(frameMsg(empty))
+	// Version-2 (timestamped) frames: valid streams, a mixed v1/v2 stream,
+	// and a v2 frame truncated inside its 8-byte timestamp.
+	fts := server.AppendFrame64At(nil, time.Unix(0, 1723000000123456789), []string{"alice"}, []uint64{9})
+	fstrTS := server.AppendFrameStringAt(nil, time.Unix(0, -5e9), []string{"k"}, []string{"v"})
+	f.Add(frameMsg(fts))
+	f.Add(frameMsg(fstrTS))
+	f.Add(append(frameMsg(f64), frameMsg(fts)...))
+	f.Add(frameMsg(fts[:14]))
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		srv, err := server.New(server.Config{Spec: sbitmap.MustSpec("sbitmap:n=1e3,eps=0.2")})

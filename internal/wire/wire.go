@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 	"unsafe"
 
 	"repro/internal/server"
@@ -313,6 +314,18 @@ func (c *Client) encodeString(keys, items []string) {
 	binary.LittleEndian.PutUint32(c.buf, uint32(len(c.buf)-4))
 }
 
+// encode64At / encodeStringAt frame a timestamped batch as a version-2
+// frame, filing every record into ts's sub-window on a windowed server.
+func (c *Client) encode64At(ts time.Time, keys []string, items []uint64) {
+	c.buf = server.AppendFrame64At(c.prefix(), ts, keys, items)
+	binary.LittleEndian.PutUint32(c.buf, uint32(len(c.buf)-4))
+}
+
+func (c *Client) encodeStringAt(ts time.Time, keys, items []string) {
+	c.buf = server.AppendFrameStringAt(c.prefix(), ts, keys, items)
+	binary.LittleEndian.PutUint32(c.buf, uint32(len(c.buf)-4))
+}
+
 // AddBatch64 sends one uint64-item frame and waits for its ack,
 // returning the server's changed count. Any pipelined frames are
 // drained first (their counts are lost to the caller — mix the APIs
@@ -377,12 +390,31 @@ func (c *Client) Send64(keys []string, items []uint64) error {
 	return c.send()
 }
 
+// Send64At is Send64 with a record timestamp: the batch ships as a
+// version-2 frame and a windowed server files it into ts's sub-window.
+func (c *Client) Send64At(ts time.Time, keys []string, items []uint64) error {
+	if err := c.conn(); err != nil {
+		return err
+	}
+	c.encode64At(ts, keys, items)
+	return c.send()
+}
+
 // SendString is Send64 for string items.
 func (c *Client) SendString(keys, items []string) error {
 	if err := c.conn(); err != nil {
 		return err
 	}
 	c.encodeString(keys, items)
+	return c.send()
+}
+
+// SendStringAt is Send64At for string items.
+func (c *Client) SendStringAt(ts time.Time, keys, items []string) error {
+	if err := c.conn(); err != nil {
+		return err
+	}
+	c.encodeStringAt(ts, keys, items)
 	return c.send()
 }
 

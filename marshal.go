@@ -78,15 +78,17 @@ var kindCodes = map[Kind]byte{
 	kindSharded:       10,
 	kindWindowed:      11,
 	kindStore:         12,
+	kindWindowRing:    13,
 }
 
-// kindSharded, kindWindowed, and kindStore tag decorator/container
-// snapshots; they are not Spec kinds (those layers are built around a
-// Spec or factory, not from one).
+// kindSharded, kindWindowed, kindStore, and kindWindowRing tag
+// decorator/container snapshots; they are not Spec kinds (those layers
+// are built around a Spec or factory, not from one).
 const (
-	kindSharded  Kind = "sharded"
-	kindWindowed Kind = "windowed"
-	kindStore    Kind = "store"
+	kindSharded    Kind = "sharded"
+	kindWindowed   Kind = "windowed"
+	kindStore      Kind = "store"
+	kindWindowRing Kind = "windowring"
 )
 
 func kindFromCode(code byte) (Kind, bool) {
@@ -240,6 +242,8 @@ func Unmarshal(data []byte, opts ...Option) (Counter, error) {
 		return nil, errors.New("sbitmap: snapshot holds a Windowed counter; restore it with UnmarshalWindowed")
 	case kindStore:
 		return nil, errors.New("sbitmap: snapshot holds a keyed Store; restore it with UnmarshalStore")
+	case kindWindowRing:
+		return nil, errors.New("sbitmap: snapshot holds a per-key sub-window ring; it only decodes inside a windowed Store snapshot")
 	default:
 		return nil, fmt.Errorf("sbitmap: no decoder for snapshot kind %s", kind)
 	}

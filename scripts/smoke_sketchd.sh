@@ -86,3 +86,56 @@ printf '{"key":"alice","item":"brand-new-url"}\n' |
   curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$BASE/v1/add" >/dev/null
 
 echo "smoke ok: estimates survived restart ($EST_ALICE / $EST_BOB)"
+
+# ---- sliding-window cycle: timestamped ingest, ?window= query, restart ----
+
+echo "smoke: restarting windowed (-window 1m -ring 5)"
+kill -TERM "$PID"; wait "$PID" || true; PID=""
+WDIR="$DIR/windowed"
+start_windowed() {
+  "$BIN" -addr "$ADDR" -spec "hll:mbits=4096,seed=7" -window 1m -ring 5 \
+    -checkpoint "$WDIR/ckpt" -checkpoint-interval 0 &
+  PID=$!
+  wait_healthy
+}
+start_windowed
+
+echo "smoke: ingesting timestamped NDJSON across three 1m sub-windows"
+# Sub-window midpoints at widx 100, 101, 102 (unix nanos = widx*60e9 + 30e9).
+for W in 100 101 102; do
+  TS=$((W * 60000000000 + 30000000000))
+  # %s for the timestamp: mawk's %d saturates at 32 bits, unix nanos do not fit.
+  seq 1 100 | awk -v ts="$TS" -v w="$W" \
+    '{printf "{\"key\":\"carol\",\"item\":\"w%d-url-%d\",\"ts\":%s}\n", w, $1, ts}' |
+    curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$BASE/v1/add" >/dev/null
+done
+
+WEST=$(curl -fsS "$BASE/v1/estimate?key=carol&window=3m")
+case "$WEST" in
+  *'"windows":3'*) ;;
+  *) echo "smoke: windowed estimate missing 3 sub-windows: $WEST" >&2; exit 1 ;;
+esac
+WSTATS=$(curl -fsS "$BASE/v1/stats")
+case "$WSTATS" in
+  *'"width":"1m0s"'*) ;;
+  *) echo "smoke: stats missing window block: $WSTATS" >&2; exit 1 ;;
+esac
+
+# A malformed span must be a typed bad_window 400.
+BADW=$(curl -s "$BASE/v1/estimate?key=carol&window=soon")
+case "$BADW" in
+  *bad_window*) ;;
+  *) echo "smoke: bad window span not rejected: $BADW" >&2; exit 1 ;;
+esac
+
+echo "smoke: SIGTERM and windowed restart"
+kill -TERM "$PID"
+wait "$PID" || { echo "smoke: windowed sketchd exited non-zero on SIGTERM" >&2; exit 1; }
+PID=""
+[ -s "$WDIR/ckpt/MANIFEST.json" ] || { echo "smoke: no windowed checkpoint written" >&2; exit 1; }
+start_windowed
+
+WEST2=$(curl -fsS "$BASE/v1/estimate?key=carol&window=3m")
+[ "$WEST" = "$WEST2" ] || { echo "smoke: windowed estimate changed across restart: $WEST vs $WEST2" >&2; exit 1; }
+
+echo "smoke ok: windowed estimate survived restart ($WEST)"

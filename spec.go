@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -47,7 +48,21 @@ type Spec struct {
 	// (the paper's Algorithm 2 uses d = 30); zero means the default 64.
 	// Only valid for Kind sbitmap.
 	Resolution uint
+	// Window, when non-zero, is the sub-window width of the
+	// "/windowed(width=…,ring=…)" modifier: a keyed Store built from the
+	// Spec materializes per key a ring of Ring sub-window sketches of
+	// width Window each and answers EstimateWindow by merging the
+	// covering sub-windows on query. Zero means no time windowing.
+	Window time.Duration
+	// Ring is the number of sub-windows retained per key; the sliding
+	// retention horizon is Window×Ring. Zero means DefaultWindowRing.
+	// Only valid together with Window.
+	Ring int
 }
+
+// DefaultWindowRing is the per-key sub-window count used when a
+// windowed(...) modifier omits ring.
+const DefaultWindowRing = 5
 
 // Kind names a sketch algorithm constructible from a Spec.
 type Kind string
@@ -112,18 +127,27 @@ func ParseKind(name string) (Kind, error) {
 
 // ParseSpec parses the string form of a Spec:
 //
-//	kind[:key=value[,key=value...]]
+//	kind[:key=value[,key=value...]][/windowed(width=DUR[,ring=K])]
 //
-// e.g. "sbitmap:n=1e6,eps=0.01", "hll:mbits=4096,seed=7", "exact". Keys are
-// n, eps, mbits, seed, hash, and d (sampling resolution); kind accepts the
-// aliases of ParseKind. ParseSpec(s.String()) == s for every valid Spec.
+// e.g. "sbitmap:n=1e6,eps=0.01", "hll:mbits=4096,seed=7", "exact", or
+// "hll:mbits=2048/windowed(width=1m,ring=5)". Keys are n, eps, mbits,
+// seed, hash, and d (sampling resolution); kind accepts the aliases of
+// ParseKind. The windowed(...) modifier takes a width duration (required,
+// time.ParseDuration syntax) and a ring size (optional, default
+// DefaultWindowRing). ParseSpec(s.String()) == s for every valid Spec.
 func ParseSpec(s string) (Spec, error) {
-	kindPart, params, _ := strings.Cut(s, ":")
+	base, modifier, hasModifier := strings.Cut(s, "/")
+	kindPart, params, _ := strings.Cut(base, ":")
 	kind, err := ParseKind(kindPart)
 	if err != nil {
 		return Spec{}, err
 	}
 	spec := Spec{Kind: kind}
+	if hasModifier {
+		if err := spec.parseWindowModifier(modifier); err != nil {
+			return Spec{}, err
+		}
+	}
 	if strings.TrimSpace(params) == "" {
 		return spec, nil
 	}
@@ -179,6 +203,58 @@ func ParseSpec(s string) (Spec, error) {
 	return spec, nil
 }
 
+// parseWindowModifier parses the "windowed(width=…,ring=…)" suffix of a
+// spec string into the receiver's Window/Ring fields.
+func (s *Spec) parseWindowModifier(mod string) error {
+	body, ok := strings.CutPrefix(strings.TrimSpace(mod), "windowed(")
+	if !ok {
+		return fmt.Errorf("sbitmap: unknown spec modifier %q (known: windowed(width=…,ring=…))", mod)
+	}
+	body, ok = strings.CutSuffix(body, ")")
+	if !ok {
+		return fmt.Errorf("sbitmap: spec modifier %q is missing its closing parenthesis", mod)
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(body, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if !ok || val == "" {
+			return fmt.Errorf("sbitmap: windowed parameter %q is not key=value", kv)
+		}
+		if seen[key] {
+			return fmt.Errorf("sbitmap: duplicate windowed parameter %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "width":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("sbitmap: windowed width=%q is not a positive duration", val)
+			}
+			s.Window = d
+		case "ring":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 1 || r > maxWindowRing {
+				return fmt.Errorf("sbitmap: windowed ring=%q is not an integer in [1, %d]", val, maxWindowRing)
+			}
+			s.Ring = r
+		default:
+			return fmt.Errorf("sbitmap: unknown windowed parameter %q (known: width, ring)", key)
+		}
+	}
+	if s.Window == 0 {
+		return fmt.Errorf("sbitmap: windowed modifier needs a width")
+	}
+	if s.Ring == 0 {
+		s.Ring = DefaultWindowRing
+	}
+	if s.Window > math.MaxInt64/time.Duration(s.Ring) {
+		return fmt.Errorf("sbitmap: windowed retention %s×%d overflows a duration", s.Window, s.Ring)
+	}
+	return nil
+}
+
 // MustSpec is ParseSpec for compile-time-constant strings; it panics on
 // error.
 func MustSpec(s string) Spec {
@@ -220,7 +296,44 @@ func (s Spec) String() string {
 	if s.Resolution != 0 {
 		put("d", strconv.FormatUint(uint64(s.Resolution), 10))
 	}
+	if s.Window != 0 {
+		b.WriteString("/windowed(width=")
+		b.WriteString(s.Window.String())
+		if s.Ring != 0 {
+			b.WriteString(",ring=")
+			b.WriteString(strconv.Itoa(s.Ring))
+		}
+		b.WriteByte(')')
+	}
 	return b.String()
+}
+
+// maxWindowRing bounds the per-key sub-window count; beyond this the
+// per-key footprint, not the windowing, is the problem.
+const maxWindowRing = 1 << 16
+
+// Windowed reports whether the Spec carries a windowed(...) modifier,
+// i.e. whether a Store built from it keeps per-key sub-window rings.
+func (s Spec) Windowed() bool { return s.Window != 0 }
+
+// Retention returns the sliding retention horizon of a windowed Spec:
+// Window × Ring (Ring defaulting to DefaultWindowRing). Records older
+// than the horizon are no longer queryable; zero for unwindowed specs.
+func (s Spec) Retention() time.Duration {
+	if s.Window == 0 {
+		return 0
+	}
+	r := s.Ring
+	if r == 0 {
+		r = DefaultWindowRing
+	}
+	return s.Window * time.Duration(r)
+}
+
+// base strips the windowed modifier: the Spec of one sub-window sketch.
+func (s Spec) base() Spec {
+	s.Window, s.Ring = 0, 0
+	return s
 }
 
 // hashOption maps a hash-family name to its Option; "" and "mixer" mean
@@ -274,8 +387,15 @@ func (s Spec) budget() (int, error) {
 	return 0, fmt.Errorf("sbitmap: spec %s needs mbits or both n and eps to fix a memory budget", s.Kind)
 }
 
-// New constructs the counter the Spec describes.
+// New constructs the counter the Spec describes. A windowed Spec does
+// not describe a single counter — build a keyed Store from it instead.
 func (s Spec) New() (Counter, error) {
+	if s.Window != 0 {
+		return nil, fmt.Errorf("sbitmap: spec %s is windowed; build a keyed Store from it (NewStore / NewStoreUint64)", s)
+	}
+	if s.Ring != 0 {
+		return nil, fmt.Errorf("sbitmap: spec ring=%d without a window width", s.Ring)
+	}
 	opts, err := s.options()
 	if err != nil {
 		return nil, err

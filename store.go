@@ -3,11 +3,13 @@ package sbitmap
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/uhash"
@@ -57,6 +59,16 @@ type Store[K StoreKey] struct {
 	// newArena builds a stripe's slab allocator; nil when the spec's kind
 	// has no arena or slab allocation is off (see WithSlabAllocator).
 	newArena func() counterArena
+
+	// win is the sliding-window configuration of a windowed(...) spec; nil
+	// otherwise. When set, per-key counters are windowRings, wm is the
+	// watermark sub-window index (the highest any record has reached;
+	// wmNone before the first), and late counts records that arrived more
+	// than ring sub-windows behind the watermark and were folded into the
+	// watermark window.
+	win  *windowShared
+	wm   atomic.Int64
+	late atomic.Int64
 
 	// scratch pools the routing/grouping buffers of in-flight batches.
 	scratch sync.Pool
@@ -128,6 +140,12 @@ const storeRouterSalt = 0x5b0a5ed5707e15
 // NewStore returns an empty keyed store whose per-key counters are built
 // from spec. The spec is validated by constructing (and discarding) one
 // counter, so any dimensioning error surfaces here, not mid-ingest.
+//
+// A spec carrying the windowed(width=…,ring=…) modifier builds a
+// sliding-window store: each key holds a ring of Ring sub-window
+// sketches of the base spec, rotated by record timestamps (the At
+// ingest variants), and EstimateWindow answers queries over a trailing
+// span. See the windowRing documentation for the time model.
 func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
 	cfg := storeConfig{stripes: storeDefaultStripes}
 	for _, opt := range opts {
@@ -139,7 +157,27 @@ func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
 	if cfg.maxKeys < 0 {
 		return nil, fmt.Errorf("sbitmap: store key limit %d < 0", cfg.maxKeys)
 	}
-	if _, err := spec.New(); err != nil {
+	if spec.Window == 0 && spec.Ring != 0 {
+		return nil, fmt.Errorf("sbitmap: store spec ring=%d without a window width", spec.Ring)
+	}
+	if spec.Window != 0 {
+		if spec.Window < 0 {
+			return nil, fmt.Errorf("sbitmap: store spec window %s < 0", spec.Window)
+		}
+		if spec.Ring == 0 {
+			spec.Ring = DefaultWindowRing
+		}
+		if spec.Ring < 0 || spec.Ring > maxWindowRing {
+			return nil, fmt.Errorf("sbitmap: store spec ring %d outside [1, %d]", spec.Ring, maxWindowRing)
+		}
+		if spec.Window > math.MaxInt64/time.Duration(spec.Ring) {
+			return nil, fmt.Errorf("sbitmap: store spec retention %s×%d overflows a duration", spec.Window, spec.Ring)
+		}
+	}
+	// The per-sub-window sketch is dimensioned by the spec minus the
+	// window modifier; for unwindowed specs base == spec.
+	base := spec.base()
+	if _, err := base.New(); err != nil {
 		return nil, fmt.Errorf("sbitmap: store spec: %w", err)
 	}
 	seed := spec.Seed
@@ -153,20 +191,37 @@ func NewStore[K StoreKey](spec Spec, opts ...StoreOption) (*Store[K], error) {
 		limit:   cfg.maxKeys,
 		isStr:   keyIsString[K](),
 		slab:    !cfg.noSlab,
-		newCounter: func() Counter {
-			c, err := spec.New()
-			if err != nil {
-				// The spec built a counter above; a deterministic
-				// constructor cannot fail on the same input later.
-				panic(fmt.Sprintf("sbitmap: store spec stopped constructing: %v", err))
-			}
-			return c
-		},
 	}
-	if s.slab && s.limit == 0 {
+	newBase := func() Counter {
+		c, err := base.New()
+		if err != nil {
+			// The spec built a counter above; a deterministic
+			// constructor cannot fail on the same input later.
+			panic(fmt.Sprintf("sbitmap: store spec stopped constructing: %v", err))
+		}
+		return c
+	}
+	s.newCounter = newBase
+	s.wm.Store(wmNone)
+	if spec.Window != 0 {
+		probe := newBase()
+		_, mergeable := probe.(Mergeable)
+		s.win = &windowShared{
+			width:      int64(spec.Window),
+			ring:       spec.Ring,
+			mergeable:  mergeable,
+			newCounter: newBase,
+			wm:         &s.wm,
+		}
+		win := s.win
+		s.newCounter = func() Counter { return newWindowRing(win) }
+	}
+	if s.slab && s.limit == 0 && s.win == nil {
 		// Validated once here (the arena shares newSBitmap's dimensioning,
 		// already proven constructible above), so per-stripe arena
-		// construction cannot fail later.
+		// construction cannot fail later. Windowed stores skip the arena:
+		// their unit of allocation is the ring, not a single fixed-size
+		// sketch (sub-window counters are allocated lazily per slot).
 		if a, err := spec.newArena(); err == nil && a != nil {
 			s.newArena = func() counterArena {
 				a, _ := spec.newArena()
@@ -303,37 +358,143 @@ func (s *Store[K]) evictOneLocked(st *storeStripe[K], incoming K) {
 	// store transiently overshoots (bounded by the stripe count).
 }
 
+// advanceWatermark raises the watermark sub-window index to at least
+// widx and returns the post-advance watermark. Lock-free (CAS max): the
+// watermark is read on estimate paths that do not hold stripe locks.
+func (s *Store[K]) advanceWatermark(widx int64) int64 {
+	for {
+		cur := s.wm.Load()
+		if cur >= widx && cur != wmNone {
+			return cur
+		}
+		if s.wm.CompareAndSwap(cur, widx) {
+			return widx
+		}
+	}
+}
+
+// currentWidx returns the watermark sub-window, or sub-window 0 for a
+// windowed store that has never seen a record — untimestamped ingest is
+// deterministic (never wall-clock), so replaying the same records always
+// rebuilds the same state.
+func (s *Store[K]) currentWidx() int64 {
+	if wm := s.wm.Load(); wm != wmNone {
+		return wm
+	}
+	return 0
+}
+
+// resolveWidx resolves the sub-window an n-record ingest lands in, given
+// the timestamp's own sub-window: normally widx itself (advancing the
+// watermark when the batch moves time forward), but a record more than
+// ring sub-windows behind the watermark has lost its slot — it folds
+// into the watermark window and is counted in LateRecords. Returns 0 for
+// unwindowed stores, whose ingest ignores time entirely.
+func (s *Store[K]) resolveWidx(widx int64, n int) int64 {
+	if s.win == nil {
+		return 0
+	}
+	wm := s.advanceWatermark(widx)
+	if widx <= wm-int64(s.win.ring) {
+		s.late.Add(int64(n))
+		return wm
+	}
+	return widx
+}
+
+// slotLocked resolves the counter that receives sub-window widx's
+// records for key — the key's counter itself for unwindowed stores, the
+// ring slot rotated to widx for windowed ones. Stripe lock held.
+func (s *Store[K]) slotLocked(st *storeStripe[K], key K, widx int64) Counter {
+	c := s.counterLocked(st, key)
+	if s.win != nil {
+		c = c.(*windowRing).slot(widx)
+	}
+	return c
+}
+
 // Add offers item to key's counter, materializing it on first sight; it
-// reports whether the counter's state changed. Safe for concurrent use.
+// reports whether the counter's state changed. On a windowed store the
+// item lands in the watermark sub-window (use AddAt to place it in
+// time). Safe for concurrent use.
 func (s *Store[K]) Add(key K, item []byte) bool {
+	widx := s.resolveWidx(s.currentWidx(), 1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	s.touchLocked(st)
-	changed := s.counterLocked(st, key).Add(item)
+	changed := s.slotLocked(st, key, widx).Add(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// AddAt is Add with an explicit record timestamp: on a windowed store
+// the item lands in ts's sub-window (floor(ts/width)); an unwindowed
+// store ignores ts. Timestamps are caller-supplied — replayed traces
+// carry their own clock — and a record more than ring sub-windows behind
+// the watermark folds into the watermark window (see LateRecords).
+func (s *Store[K]) AddAt(ts time.Time, key K, item []byte) bool {
+	widx := s.resolveWidx(s.tsWidx(ts), 1)
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	s.touchLocked(st)
+	changed := s.slotLocked(st, key, widx).Add(item)
 	st.mu.Unlock()
 	return changed
 }
 
 // AddUint64 offers a 64-bit item to key's counter; safe for concurrent
-// use.
+// use. On a windowed store the item lands in the watermark sub-window.
 func (s *Store[K]) AddUint64(key K, item uint64) bool {
+	widx := s.resolveWidx(s.currentWidx(), 1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	s.touchLocked(st)
-	changed := s.counterLocked(st, key).AddUint64(item)
+	changed := s.slotLocked(st, key, widx).AddUint64(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// AddUint64At is AddUint64 with an explicit record timestamp; see AddAt.
+func (s *Store[K]) AddUint64At(ts time.Time, key K, item uint64) bool {
+	widx := s.resolveWidx(s.tsWidx(ts), 1)
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	s.touchLocked(st)
+	changed := s.slotLocked(st, key, widx).AddUint64(item)
 	st.mu.Unlock()
 	return changed
 }
 
 // AddString offers a string item to key's counter; safe for concurrent
-// use.
+// use. On a windowed store the item lands in the watermark sub-window.
 func (s *Store[K]) AddString(key K, item string) bool {
+	widx := s.resolveWidx(s.currentWidx(), 1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	s.touchLocked(st)
-	changed := s.counterLocked(st, key).AddString(item)
+	changed := s.slotLocked(st, key, widx).AddString(item)
 	st.mu.Unlock()
 	return changed
+}
+
+// AddStringAt is AddString with an explicit record timestamp; see AddAt.
+func (s *Store[K]) AddStringAt(ts time.Time, key K, item string) bool {
+	widx := s.resolveWidx(s.tsWidx(ts), 1)
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	s.touchLocked(st)
+	changed := s.slotLocked(st, key, widx).AddString(item)
+	st.mu.Unlock()
+	return changed
+}
+
+// tsWidx discretizes a record timestamp into its sub-window index; 0 for
+// unwindowed stores (where it is never used).
+func (s *Store[K]) tsWidx(ts time.Time) int64 {
+	if s.win == nil {
+		return 0
+	}
+	return widxOf(ts.UnixNano(), s.win.width)
 }
 
 // storeScratch holds one in-flight batch's routing state: each record's
@@ -460,6 +621,18 @@ const storeRunBatchMin = 64
 // allocate nothing. Safe for concurrent use. Panics if the slices'
 // lengths differ.
 func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
+	return s.addBatch64(s.resolveWidx(s.currentWidx(), len(keys)), keys, items)
+}
+
+// AddBatch64At is AddBatch64 with an explicit record timestamp shared by
+// the whole batch (one frame = one capture instant): on a windowed store
+// every record lands in ts's sub-window; an unwindowed store ignores ts.
+// See AddAt for the timestamp contract.
+func (s *Store[K]) AddBatch64At(ts time.Time, keys []K, items []uint64) int {
+	return s.addBatch64(s.resolveWidx(s.tsWidx(ts), len(keys)), keys, items)
+}
+
+func (s *Store[K]) addBatch64(widx int64, keys []K, items []uint64) int {
 	if len(keys) != len(items) {
 		panic(fmt.Sprintf("sbitmap: Store.AddBatch64 with %d keys and %d items", len(keys), len(items)))
 	}
@@ -493,7 +666,7 @@ func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
 			if !st.mu.TryLock() {
 				continue
 			}
-			changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items)
+			changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items, widx)
 			st.mu.Unlock()
 			counts[i] = 0
 			pending--
@@ -506,7 +679,7 @@ func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
 				}
 				st := &s.stripes[i]
 				st.mu.Lock()
-				changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items)
+				changed += s.ingest64Locked(st, sc, offs[i]-c, offs[i], items, widx)
 				st.mu.Unlock()
 				counts[i] = 0
 				pending--
@@ -520,6 +693,16 @@ func (s *Store[K]) AddBatch64(keys []K, items []uint64) int {
 // AddBatchString is AddBatch64 for string items; see AddBatch64 for the
 // routing, equivalence, and concurrency contract.
 func (s *Store[K]) AddBatchString(keys []K, items []string) int {
+	return s.addBatchString(s.resolveWidx(s.currentWidx(), len(keys)), keys, items)
+}
+
+// AddBatchStringAt is AddBatchString with an explicit record timestamp
+// shared by the whole batch; see AddBatch64At.
+func (s *Store[K]) AddBatchStringAt(ts time.Time, keys []K, items []string) int {
+	return s.addBatchString(s.resolveWidx(s.tsWidx(ts), len(keys)), keys, items)
+}
+
+func (s *Store[K]) addBatchString(widx int64, keys []K, items []string) int {
 	if len(keys) != len(items) {
 		panic(fmt.Sprintf("sbitmap: Store.AddBatchString with %d keys and %d items", len(keys), len(items)))
 	}
@@ -549,7 +732,7 @@ func (s *Store[K]) AddBatchString(keys []K, items []string) int {
 			if !st.mu.TryLock() {
 				continue
 			}
-			changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items)
+			changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items, widx)
 			st.mu.Unlock()
 			counts[i] = 0
 			pending--
@@ -562,7 +745,7 @@ func (s *Store[K]) AddBatchString(keys []K, items []string) int {
 				}
 				st := &s.stripes[i]
 				st.mu.Lock()
-				changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items)
+				changed += s.ingestStringLocked(st, sc, offs[i]-c, offs[i], items, widx)
 				st.mu.Unlock()
 				counts[i] = 0
 				pending--
@@ -578,7 +761,7 @@ func (s *Store[K]) AddBatchString(keys []K, items []string) int {
 // materialize each run's counter once, loop per-item Adds below
 // storeRunBatchMin and take the batch path (gathering the run's items
 // contiguously first) at or above it.
-func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []uint64) int {
+func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []uint64, widx int64) int {
 	seg := sc.recs[start:end]
 	s.touchLocked(st)
 	changed := 0
@@ -587,7 +770,7 @@ func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start
 		for k < len(seg) && seg[k].key == seg[j].key {
 			k++
 		}
-		c := s.counterLocked(st, seg[j].key)
+		c := s.slotLocked(st, seg[j].key, widx)
 		if k-j < storeRunBatchMin {
 			for _, r := range seg[j:k] {
 				if c.AddUint64(items[r.pos]) {
@@ -607,7 +790,7 @@ func (s *Store[K]) ingest64Locked(st *storeStripe[K], sc *storeScratch[K], start
 }
 
 // ingestStringLocked is ingest64Locked for string items.
-func (s *Store[K]) ingestStringLocked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []string) int {
+func (s *Store[K]) ingestStringLocked(st *storeStripe[K], sc *storeScratch[K], start, end int, items []string, widx int64) int {
 	seg := sc.recs[start:end]
 	s.touchLocked(st)
 	changed := 0
@@ -616,7 +799,7 @@ func (s *Store[K]) ingestStringLocked(st *storeStripe[K], sc *storeScratch[K], s
 		for k < len(seg) && seg[k].key == seg[j].key {
 			k++
 		}
-		c := s.counterLocked(st, seg[j].key)
+		c := s.slotLocked(st, seg[j].key, widx)
 		if k-j < storeRunBatchMin {
 			for _, r := range seg[j:k] {
 				if c.AddString(items[r.pos]) {
@@ -671,6 +854,110 @@ func (s *Store[K]) Estimate(key K) (estimate float64, ok bool) {
 	st.mu.Unlock()
 	return estimate, ok
 }
+
+// WindowEstimate is EstimateWindow's answer: the distinct-count estimate
+// over the covered interval [Start, End), plus how it was produced.
+type WindowEstimate struct {
+	// Estimate is the distinct-count estimate over the covered interval.
+	Estimate float64
+	// Windows is how many live sub-window sketches contributed (at most
+	// ceil(span/width); fewer when some covered sub-windows saw no
+	// records for the key).
+	Windows int
+	// Start and End bound the covered interval, derived from the
+	// watermark: [Start, End) spans the covering sub-windows, the newest
+	// of which (the watermark window) may still be filling.
+	Start, End time.Time
+	// Tumbling marks the non-mergeable fallback: the base kind (the
+	// paper's S-bitmap) cannot union sub-windows, so the estimate is the
+	// last complete sub-window's — the paper's own "every minute
+	// interval" reporting — regardless of the requested span.
+	Tumbling bool
+}
+
+// EstimateWindow answers "how many distinct items did key see over the
+// trailing span?" on a windowed store. The span is covered by
+// n = ceil(span/width) sub-windows ending at the watermark (the newest,
+// possibly still-filling sub-window any record has reached — queries
+// never consult the wall clock); for Mergeable base kinds the covering
+// sketches are unioned at query time, while the S-bitmap falls back to
+// tumbling semantics (see WindowEstimate.Tumbling). ok is false if the
+// key has never been seen (or was evicted). Errors: ErrNotWindowed when
+// the store's spec has no windowed(...) modifier, ErrWindowSpan when
+// span is non-positive or exceeds Spec.Retention. Safe for concurrent
+// use.
+func (s *Store[K]) EstimateWindow(key K, span time.Duration) (WindowEstimate, bool, error) {
+	if s.win == nil {
+		return WindowEstimate{}, false, ErrNotWindowed
+	}
+	n, err := s.win.coveringWindows(span)
+	if err != nil {
+		return WindowEstimate{}, false, err
+	}
+	wm := s.wm.Load()
+	if wm == wmNone {
+		wm = 0
+	}
+	var we WindowEstimate
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	c, ok := st.m[key]
+	if ok {
+		we, err = c.(*windowRing).estimateWindow(wm, n)
+	}
+	st.mu.Unlock()
+	if err != nil {
+		return WindowEstimate{}, false, err
+	}
+	we.Tumbling = !s.win.mergeable
+	lo := wm - int64(n) + 1
+	if we.Tumbling {
+		we.Windows = 1
+		lo, wm = wm-1, wm-1
+	}
+	we.Start = time.Unix(0, lo*s.win.width)
+	we.End = time.Unix(0, (wm+1)*s.win.width)
+	return we, ok, nil
+}
+
+// WindowState reports a windowed store's time position: the watermark
+// sub-window index (the highest any ingested record has reached; the
+// watermark window starts at watermark × Spec.Window on the unix epoch
+// timeline) and the late-record count (records that arrived more than
+// ring sub-windows behind the watermark and were folded into the
+// watermark window). ok is false — and both values meaningless — for
+// unwindowed stores, and watermark is wmNone's exported guise (a large
+// negative number) before any record. A checkpointing server persists
+// the watermark and restores it with SetWindowState; snapshot decode
+// also re-derives it from ring contents, so the explicit hand-off only
+// matters when the watermark window's keys were all removed. Late counts
+// are process-lifetime, not persisted.
+func (s *Store[K]) WindowState() (watermark, late int64, ok bool) {
+	if s.win == nil {
+		return 0, 0, false
+	}
+	return s.wm.Load(), s.late.Load(), true
+}
+
+// SetWindowState fast-forwards the watermark (it never moves backwards)
+// and, when late is non-negative, seeds the late-record counter. Call
+// before concurrent use; no-op on unwindowed stores.
+func (s *Store[K]) SetWindowState(watermark, late int64) {
+	if s.win == nil {
+		return
+	}
+	if watermark != wmNone {
+		s.advanceWatermark(watermark)
+	}
+	if late >= 0 {
+		s.late.Store(late)
+	}
+}
+
+// LateRecords returns how many records arrived more than ring
+// sub-windows behind the watermark and were folded into the watermark
+// window (0 for unwindowed stores). Process-lifetime, monotone.
+func (s *Store[K]) LateRecords() int64 { return s.late.Load() }
 
 // Len returns the number of live keys. Safe for concurrent use.
 func (s *Store[K]) Len() int { return int(s.keys.Load()) }
@@ -839,9 +1126,22 @@ func (s *Store[K]) Merge(other *Store[K]) error {
 	}
 	// Mergeability is a property of the shared spec; refuse up front so a
 	// non-mergeable kind cannot leave s half-mutated (or littered with
-	// empty adopted counters).
-	if _, ok := s.newCounter().(Mergeable); !ok {
+	// empty adopted counters). For windowed stores the question is about
+	// the base kind — every ring merges structurally, but only by merging
+	// same-sub-window sketches.
+	if s.win != nil {
+		if !s.win.mergeable {
+			return fmt.Errorf("sbitmap: windowed store of kind %s: %w", s.spec.Kind, ErrNotMergeable)
+		}
+	} else if _, ok := s.newCounter().(Mergeable); !ok {
 		return fmt.Errorf("sbitmap: store of kind %s: %w", s.spec.Kind, ErrNotMergeable)
+	}
+	if other.win != nil {
+		// Adopt the source's time position first so merged-in sub-windows
+		// are never beyond s's watermark.
+		if owm := other.wm.Load(); owm != wmNone {
+			s.advanceWatermark(owm)
+		}
 	}
 	for i := range other.stripes {
 		ot := &other.stripes[i]
@@ -876,15 +1176,21 @@ func (s *Store[K]) Merge(other *Store[K]) error {
 //	[0]    key type (1 = uint64, 2 = string)
 //	[1:3]  spec length   (little-endian uint16)
 //	       spec string   (canonical Spec.String form)
+//	[..]   watermark sub-window index (int64 LE) — present only when the
+//	       spec is windowed, so pre-window snapshots decode unchanged
 //	[..]   key count     (little-endian uint64)
 //	per key:
 //	       uint64 key    (8 bytes LE)            — key type 1
 //	       length-prefixed key bytes (uint32 LE) — key type 2
 //	       counter blob length (uint32 LE), counter envelope
+//	       (a kindWindowRing envelope when the spec is windowed)
 //
 // The spec string carries the seed and hash family, so a restored store
 // keeps counting without extra options — unlike bare counter snapshots,
-// whose hash configuration is supplied out of band.
+// whose hash configuration is supplied out of band. It also carries the
+// windowed(...) modifier, which is what gates the watermark field and
+// the per-key blob shape: old snapshots never have windowed specs, so
+// the extension is backward compatible in both directions.
 const (
 	storeKeyUint64 = 1
 	storeKeyString = 2
@@ -917,6 +1223,9 @@ func (s *Store[K]) MarshalBinary() ([]byte, error) {
 	payload = append(payload, storeKeyCode[K]())
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(spec)))
 	payload = append(payload, spec...)
+	if s.win != nil {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(s.wm.Load()))
+	}
 	countAt := len(payload)
 	payload = binary.LittleEndian.AppendUint64(payload, 0) // patched below
 	count := uint64(0)
@@ -965,11 +1274,23 @@ func UnmarshalStore[K StoreKey](data []byte, opts ...StoreOption) (*Store[K], er
 	if err != nil {
 		return nil, fmt.Errorf("sbitmap: store snapshot spec: %w", err)
 	}
-	count := binary.LittleEndian.Uint64(payload[specLen:])
-	payload = payload[specLen+8:]
+	payload = payload[specLen:]
+	watermark := int64(wmNone)
+	if spec.Windowed() {
+		if len(payload) < 16 {
+			return nil, fmt.Errorf("%w: store watermark", ErrTruncated)
+		}
+		watermark = int64(binary.LittleEndian.Uint64(payload))
+		payload = payload[8:]
+	}
+	count := binary.LittleEndian.Uint64(payload)
+	payload = payload[8:]
 	s, err := NewStore[K](spec, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if watermark != wmNone {
+		s.wm.Store(watermark)
 	}
 	if s.limit > 0 && count > uint64(s.limit) {
 		// A restore never silently drops keys; shrinking is the caller's
@@ -983,7 +1304,7 @@ func UnmarshalStore[K StoreKey](data []byte, opts ...StoreOption) (*Store[K], er
 		return nil, err
 	}
 	for i := uint64(0); i < count; i++ {
-		key, c, rest, err := decodeStoreEntry[K](payload, i, specOpts)
+		key, c, rest, err := s.decodeStoreEntry(payload, i, specOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -1023,8 +1344,11 @@ func (s *Store[K]) appendStoreEntry(payload []byte, key K, c Counter) ([]byte, e
 
 // decodeStoreEntry decodes one (key, counter) pair and returns the
 // remaining payload — the inverse of appendStoreEntry, shared by
-// UnmarshalStore and RestoreStripe. i labels truncation errors.
-func decodeStoreEntry[K StoreKey](payload []byte, i uint64, specOpts []Option) (key K, c Counter, rest []byte, err error) {
+// UnmarshalStore and RestoreStripe. i labels truncation errors. On a
+// windowed store the counter blob is a sub-window ring, and the store's
+// watermark advances to the ring's newest sub-window so restores
+// re-derive the time position from snapshot contents.
+func (s *Store[K]) decodeStoreEntry(payload []byte, i uint64, specOpts []Option) (key K, c Counter, rest []byte, err error) {
 	if keyIsString[K]() {
 		if len(payload) < 4 {
 			return key, nil, nil, fmt.Errorf("%w: store key %d header", ErrTruncated, i)
@@ -1050,6 +1374,16 @@ func decodeStoreEntry[K StoreKey](payload []byte, i uint64, specOpts []Option) (
 	payload = payload[4:]
 	if blen > len(payload) {
 		return key, nil, nil, fmt.Errorf("%w: store counter %d", ErrTruncated, i)
+	}
+	if s.win != nil {
+		r, rerr := unmarshalWindowRing(s.win, payload[:blen], specOpts)
+		if rerr != nil {
+			return key, nil, nil, fmt.Errorf("sbitmap: store key %v: %w", key, rerr)
+		}
+		if maxW := r.maxWidx(); maxW != wmNone {
+			s.advanceWatermark(maxW)
+		}
+		return key, r, payload[blen:], nil
 	}
 	c, err = Unmarshal(payload[:blen], specOpts...)
 	if err != nil {
@@ -1187,7 +1521,7 @@ func (s *Store[K]) RestoreStripe(blob []byte) (int, error) {
 		return 0, err
 	}
 	for i := uint64(0); i < count; i++ {
-		key, c, rest, err := decodeStoreEntry[K](payload, i, specOpts)
+		key, c, rest, err := s.decodeStoreEntry(payload, i, specOpts)
 		if err != nil {
 			return int(i), err
 		}

@@ -16,15 +16,20 @@ import (
 // bookkeeping plus a sketch reset, with no allocation after construction.
 //
 // The caller supplies timestamps (so replayed traces and simulations work
-// without wall-clock coupling); out-of-order items behind the current
-// window are counted into the current window rather than dropped, which
-// matches what a router does with late packets.
+// without wall-clock coupling). Out-of-order items behind the current
+// window — stragglers whose window already closed — are counted into the
+// current window rather than dropped, which matches what a router does
+// with late packets; they are not silent, though: every such item
+// increments LateRecords, so an operator can see when reordering is
+// polluting window estimates. (For keyed, queryable sliding windows, use
+// a Store with a windowed(...) Spec modifier instead.)
 //
 // Not safe for concurrent use; wrap in a mutex or shard by key.
 type Windowed struct {
 	width   time.Duration
 	current Counter
 	spare   Counter
+	late    int64
 
 	started    bool
 	observed   bool // an item arrived since the last close
@@ -86,6 +91,7 @@ func NewWindowedFrom(width time.Duration, factory func() (Counter, error), onClo
 // window first (possibly several empty windows if the stream has gaps).
 func (w *Windowed) Add(ts time.Time, item []byte) bool {
 	w.roll(ts)
+	w.countLate(ts, 1)
 	w.observed = true
 	return w.current.Add(item)
 }
@@ -93,6 +99,7 @@ func (w *Windowed) Add(ts time.Time, item []byte) bool {
 // AddUint64 offers a 64-bit item observed at ts.
 func (w *Windowed) AddUint64(ts time.Time, item uint64) bool {
 	w.roll(ts)
+	w.countLate(ts, 1)
 	w.observed = true
 	return w.current.AddUint64(item)
 }
@@ -100,6 +107,7 @@ func (w *Windowed) AddUint64(ts time.Time, item uint64) bool {
 // AddString offers a string item observed at ts.
 func (w *Windowed) AddString(ts time.Time, item string) bool {
 	w.roll(ts)
+	w.countLate(ts, 1)
 	w.observed = true
 	return w.current.AddString(item)
 }
@@ -114,6 +122,7 @@ func (w *Windowed) AddBatch64(ts time.Time, items []uint64) int {
 		return 0
 	}
 	w.roll(ts)
+	w.countLate(ts, len(items))
 	w.observed = true
 	return AddBatch64(w.current, items)
 }
@@ -125,6 +134,7 @@ func (w *Windowed) AddBatchString(ts time.Time, items []string) int {
 		return 0
 	}
 	w.roll(ts)
+	w.countLate(ts, len(items))
 	w.observed = true
 	return AddBatchString(w.current, items)
 }
@@ -148,6 +158,16 @@ func (w *Windowed) roll(ts time.Time) {
 		if target := ts.Truncate(w.width); target.After(w.winStart) {
 			w.winStart = target.Add(-w.width)
 		}
+	}
+}
+
+// countLate counts items whose window has already closed: roll never
+// moves winStart backwards, so after it runs a timestamp still before
+// the current window start is a straggler that will be folded into the
+// current window.
+func (w *Windowed) countLate(ts time.Time, n int) {
+	if w.started && ts.Before(w.winStart) {
+		w.late += int64(n)
 	}
 }
 
@@ -202,6 +222,12 @@ func (w *Windowed) Estimate() float64 { return w.current.Estimate() }
 // Last returns the most recently closed window's result; ok is false if
 // no window has closed yet.
 func (w *Windowed) Last() (WindowResult, bool) { return w.lastClosed, w.hasClosed }
+
+// LateRecords returns how many items arrived behind the current window
+// and were folded into it (see the type documentation). The counter is
+// process-lifetime bookkeeping, monotone and never reset by rotation; it
+// is not part of snapshots.
+func (w *Windowed) LateRecords() int64 { return w.late }
 
 // SizeBits returns the total memory of both rotation sketches.
 func (w *Windowed) SizeBits() int { return w.current.SizeBits() + w.spare.SizeBits() }
