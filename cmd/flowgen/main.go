@@ -7,12 +7,27 @@
 //	flowgen -trace slammer -link 0 -minute 42       # flow keys of one minute
 //	flowgen -trace backbone -counts                 # 600-link snapshot
 //	flowgen -trace backbone -link 7                 # keys of one link
+//	flowgen -trace scan -scanners 20 -scan-rate 2000  # keyed scan workload
 //
 // Keys print one per line as 16-digit hex, so
 //
 //	flowgen -trace slammer -link 1 -minute 42 | distinct -algo all -n 1e6
 //
 // compares every sketch on a realistic duplicated stream.
+//
+// The scan trace is keyed (source, destination) traffic for the
+// superspreader/port-scan detection pipeline: benign background sources
+// with small fan-out, a borderline band, and -scanners injected sources
+// whose distinct-destination counts sit in [scan-rate, 2·scan-rate].
+// Records emit as NDJSON {"key":...,"item":...} lines ready for
+// POST /v1/add on a sketchd, so
+//
+//	flowgen -trace scan -scanners 20 | curl -s --data-binary @- \
+//	    -H 'Content-Type: application/x-ndjson' localhost:8287/v1/add
+//
+// feeds a server with a prefix rule installed and watches it fire. With
+// -counts the ground truth prints instead: one "key spread scanner"
+// line per source, for scoring a detector's precision and recall.
 package main
 
 import (
@@ -27,11 +42,13 @@ import (
 
 func main() {
 	var (
-		trace  = flag.String("trace", "slammer", "workload: slammer|backbone")
-		link   = flag.Int("link", 1, "link index (slammer: 0 or 1; backbone: 0..599)")
-		minute = flag.Int("minute", -1, "slammer minute to emit keys for (with -counts unset)")
-		counts = flag.Bool("counts", false, "emit true distinct counts instead of keys")
-		seed   = flag.Uint64("seed", 1, "generator seed")
+		trace    = flag.String("trace", "slammer", "workload: slammer|backbone|scan")
+		link     = flag.Int("link", 1, "link index (slammer: 0 or 1; backbone: 0..599)")
+		minute   = flag.Int("minute", -1, "slammer minute to emit keys for (with -counts unset)")
+		counts   = flag.Bool("counts", false, "emit true distinct counts instead of keys")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		scanners = flag.Int("scanners", 20, "scan trace: number of injected scanner sources")
+		scanRate = flag.Int("scan-rate", 2000, "scan trace: scanner fan-out floor (spreads land in [rate, 2*rate])")
 	)
 	flag.Parse()
 
@@ -71,8 +88,51 @@ func main() {
 		stream.ForEach(netflow.LinkStream(snapshot[*link], *seed^uint64(*link)<<20), func(x uint64) {
 			fmt.Fprintf(w, "%016x\n", x)
 		})
+	case "scan":
+		if *scanners < 0 || *scanRate < 1 {
+			fmt.Fprintf(os.Stderr, "flowgen: -scanners must be >= 0 and -scan-rate >= 1\n")
+			os.Exit(1)
+		}
+		tr := stream.NewScanTrace(scanTraceConfig(*scanners, *scanRate, *seed))
+		if *counts {
+			fmt.Fprintln(w, "# key  true_spread  scanner")
+			for k := 0; k < tr.NumKeys(); k++ {
+				fmt.Fprintf(w, "%s %d %d\n", stream.KeyString(tr.Key(k)), tr.Spread(k), b2i(tr.IsScanner(k)))
+			}
+			return
+		}
+		stream.ForEachRecord(tr, func(key, item uint64) {
+			fmt.Fprintf(w, "{\"key\":%q,\"item\":%q}\n", stream.KeyString(key), stream.KeyString(item))
+		})
 	default:
-		fmt.Fprintf(os.Stderr, "flowgen: unknown trace %q (slammer|backbone)\n", *trace)
+		fmt.Fprintf(os.Stderr, "flowgen: unknown trace %q (slammer|backbone|scan)\n", *trace)
 		os.Exit(1)
 	}
+}
+
+// scanTraceConfig shapes the scan workload from the two knobs the CLI
+// exposes: -scanners sets the injected population, -scan-rate its
+// fan-out floor, and the benign background and borderline band scale
+// relative to the rate so a detection threshold around rate/2 is always
+// measured against a band that straddles it.
+func scanTraceConfig(scanners, rate int, seed uint64) stream.ScanTraceConfig {
+	return stream.ScanTraceConfig{
+		BackgroundKeys: 5000,
+		BackgroundMax:  max(10, rate/20),
+		Borderline:     50,
+		BorderlineLo:   max(2, rate/4),
+		BorderlineHi:   max(3, (rate*3)/4),
+		Scanners:       scanners,
+		ScannerLo:      rate,
+		ScannerHi:      2 * rate,
+		Dup:            1.5,
+		Seed:           seed,
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -108,6 +108,14 @@ func main() {
 		return
 	}
 
+	if *run == "alerts" {
+		if err := runAlerts(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiment.IDs() {
@@ -125,6 +133,8 @@ func main() {
 			"cluster-mode benchmark (3-node loopback ring: partitioned frame ingest vs single node, scatter-gather query latency; -json writes BENCH_cluster.json)")
 		fmt.Printf("  %-16s %s\n", "window",
 			"sliding-window benchmark (ring rotation cost, merge-on-query latency, per-key bytes at ring=5, loopback twin equivalence; -json writes BENCH_window.json)")
+		fmt.Printf("  %-16s %s\n", "alerts",
+			"superspreader detection benchmark (prefix rule over a scan trace with known ground truth; precision/recall hard-gated at 0.95, incremental vs full tick latency; -json writes BENCH_alerts.json)")
 		if *run == "" && !*list {
 			fmt.Println("\nrun with: sbench -run <id>[,<id>...] | -run all")
 		}

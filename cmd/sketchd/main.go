@@ -39,6 +39,16 @@
 // checkpoint — so a crashed-and-restarted server resumes with exactly
 // the records it acked, not just the last checkpoint.
 //
+// Standing queries (see internal/rules): PUT /v1/rules installs a
+// continuous detection query — a single-key threshold watch, a
+// prefix/any-key superspreader scan, or a top-k movers ranking — and the
+// server evaluates it every -rule-interval against only the stripes
+// dirtied since the previous pass (threshold rules additionally fire
+// within the ingest call that crossed them). Alerts accumulate in a ring
+// (GET /v1/alerts, sized by -alert-ring) and stream live over SSE
+// (GET /v1/alerts/stream). With -checkpoint, installed rules, firing
+// state, and alert history survive restarts via the manifest.
+//
 // Cluster mode (see internal/cluster): N sketchd processes become one
 // logical service. Start every node with the same -spec (seed included)
 // and the same -peers list; clients (cluster.Client, sbench -run
@@ -55,9 +65,13 @@
 //
 //	POST /v1/add         NDJSON {"key":...,"item":...} lines, or a binary
 //	                     add frame (Content-Type application/x-sbitmap-frame)
-//	GET  /v1/estimate    ?key=K [&window=5m]
+//	GET  /v1/estimate    ?key=K [&window=5m]; repeat key= for a batch
 //	GET  /v1/topk        ?k=N
 //	GET  /v1/stats       totals + live metrics
+//	PUT  /v1/rules       install a standing query (threshold/prefix/movers)
+//	GET  /v1/rules       list rules; /v1/rules/{id} reads, DELETE removes
+//	GET  /v1/alerts      ?limit=N — alert history, newest first
+//	GET  /v1/alerts/stream  live alerts (Server-Sent Events, ?replay=N)
 //	POST /v1/merge       Store snapshot envelope from a peer
 //	POST /v1/checkpoint  write a durable snapshot now
 //	GET  /v1/healthz     liveness + spec + role + uptime (JSON)
@@ -120,6 +134,8 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 		fsyncInt = fs.Duration("fsync-interval", 0, "max age of unsynced WAL bytes under -fsync interval (0 = 100ms default)")
 		walSeg   = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 64 MiB default)")
 		maxLag   = fs.Duration("max-durability-lag", 0, "degrade /v1/healthz to 503 when acked-but-not-durable data is older than this (0 = never)")
+		ruleIntv = fs.Duration("rule-interval", time.Second, "standing-query evaluation interval: how often installed rules rescan dirtied stripes (0 disables the timer; threshold rules still fire on ingest)")
+		alertRng = fs.Int("alert-ring", 0, "alert history ring capacity served by GET /v1/alerts (0 = 1024 default)")
 		window   = fs.Duration("window", 0, "sub-window width for sliding-window counting (adds windowed(width=...) to the spec; 0 = disabled)")
 		ring     = fs.Int("ring", 0, "sub-windows retained per key (needs -window; 0 = library default of 5)")
 		maxKeys  = fs.Int("maxkeys", 0, "bound live keys, evicting arbitrary keys at the limit (0 = unbounded)")
@@ -184,6 +200,12 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 	if *maxLag < 0 {
 		return config{}, fmt.Errorf("-max-durability-lag %v is negative", *maxLag)
 	}
+	if *ruleIntv < 0 {
+		return config{}, fmt.Errorf("-rule-interval %v is negative", *ruleIntv)
+	}
+	if *alertRng < 0 {
+		return config{}, fmt.Errorf("-alert-ring %d is negative", *alertRng)
+	}
 	switch *role {
 	case "", server.RoleStandalone, server.RoleAggregator:
 		if *aggrURL != "" {
@@ -231,6 +253,8 @@ func parseFlags(args []string, stderr *os.File) (config, error) {
 			WALSegmentBytes:  *walSeg,
 			MaxDurabilityLag: *maxLag,
 			MaxBodyBytes:     *maxBody,
+			RuleEvalInterval: *ruleIntv,
+			AlertRing:        *alertRng,
 			Cluster:          clusterInfo,
 		},
 		interval:     *interval,

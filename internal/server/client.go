@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/rules"
 )
 
 // Client is the Go face of the counting service: thin typed wrappers over
@@ -216,6 +219,143 @@ func (c *Client) EstimateWindow(ctx context.Context, key string, span time.Durat
 		return EstimateResult{}, false, err
 	}
 	return res, true, nil
+}
+
+// EstimateMulti returns estimates for many keys in one request (repeated
+// key= parameters, one batched store pass server-side). The result has
+// one entry per requested key, in request order; a key the server has
+// never seen comes back with OK false, not an error.
+func (c *Client) EstimateMulti(ctx context.Context, keys []string) ([]MultiEstimateEntry, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	q := make(url.Values, 1)
+	q["key"] = keys
+	if len(keys) == 1 {
+		// The server answers a single key= with the scalar shape; force
+		// the batched shape by asking twice and dropping the duplicate.
+		q["key"] = []string{keys[0], keys[0]}
+	}
+	var res MultiEstimateResult
+	err := c.do(ctx, http.MethodGet, "/v1/estimate?"+q.Encode(), "", nil, &res)
+	if err != nil {
+		return nil, err
+	}
+	return res.Results[:len(keys)], nil
+}
+
+// PutRule installs (or replaces) a standing query. Validation failures
+// come back as an *APIError with code CodeBadRule (or CodeWindowNotConf
+// for a windowed rule against an unwindowed server).
+func (c *Client) PutRule(ctx context.Context, spec rules.Spec) (rules.Spec, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return rules.Spec{}, err
+	}
+	var res rules.Spec
+	err = c.do(ctx, http.MethodPut, "/v1/rules", "application/json", body, &res)
+	return res, err
+}
+
+// Rules lists every installed rule, sorted by ID.
+func (c *Client) Rules(ctx context.Context) ([]rules.Spec, error) {
+	var res RulesResult
+	err := c.do(ctx, http.MethodGet, "/v1/rules", "", nil, &res)
+	return res.Rules, err
+}
+
+// Rule reads one installed rule by ID; an unknown ID is an *APIError
+// with code CodeUnknownRule.
+func (c *Client) Rule(ctx context.Context, id string) (rules.Spec, error) {
+	var res rules.Spec
+	err := c.do(ctx, http.MethodGet, "/v1/rules/"+url.PathEscape(id), "", nil, &res)
+	return res, err
+}
+
+// DeleteRule removes a rule; an unknown ID is an *APIError with code
+// CodeUnknownRule.
+func (c *Client) DeleteRule(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/rules/"+url.PathEscape(id), "", nil, nil)
+}
+
+// Alerts returns up to limit recent alerts, newest first (limit <= 0
+// returns everything the server's history ring holds).
+func (c *Client) Alerts(ctx context.Context, limit int) ([]rules.Alert, error) {
+	path := "/v1/alerts"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var res AlertsResult
+	err := c.do(ctx, http.MethodGet, path, "", nil, &res)
+	return res.Alerts, err
+}
+
+// StreamAlerts consumes the live SSE alert feed, calling fn for every
+// alert until fn returns false, the context is done, or the stream
+// fails. replay > 0 asks the server to prepend that many recent
+// historical alerts (oldest first) before the live feed; the
+// subscription window overlaps the replay, so fn may see an alert ID
+// twice — dedup by ID if exactly-once matters. Returns nil when fn
+// stopped the stream, ctx.Err() on cancellation, and the transport error
+// otherwise. StreamAlerts does not retry; a consumer that must survive
+// reconnects wraps it and passes the last seen ID's worth of replay.
+func (c *Client) StreamAlerts(ctx context.Context, replay int, fn func(rules.Alert) bool) error {
+	path := "/v1/alerts/stream"
+	if replay > 0 {
+		path += "?replay=" + strconv.Itoa(replay)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		apiErr := &APIError{Status: resp.StatusCode, Code: CodeBadRequest}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Code != "" {
+			apiErr.Code, apiErr.Message = eb.Error.Code, eb.Error.Message
+		} else {
+			apiErr.Message = strings.TrimSpace(string(raw))
+		}
+		return apiErr
+	}
+	// Minimal SSE reader: "data:" lines carry the alert JSON, a blank
+	// line ends an event, ":" lines are keepalive comments. The id: and
+	// event: fields are redundant with the payload and skipped.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if len(data) > 0 {
+				var a rules.Alert
+				if err := json.Unmarshal(data, &a); err != nil {
+					return fmt.Errorf("server: alert stream: %w", err)
+				}
+				data = data[:0]
+				if !fn(a) {
+					return nil
+				}
+			}
+		case bytes.HasPrefix(line, []byte("data:")):
+			data = append(data, bytes.TrimSpace(line[len("data:"):])...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return io.ErrUnexpectedEOF // server closed a live stream
 }
 
 // TopK returns the server's k keys with the largest estimates, in

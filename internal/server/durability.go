@@ -33,6 +33,7 @@ import (
 
 	sbitmap "repro"
 	"repro/internal/fsx"
+	"repro/internal/rules"
 	"repro/internal/wal"
 )
 
@@ -87,6 +88,11 @@ type manifest struct {
 	// contents alone.
 	Watermark *int64         `json:"watermark,omitempty"`
 	Files     []manifestFile `json:"files"`
+	// Rules is the standing-query engine's restartable state (installed
+	// rule specs, per-key firing state, the alert history ring) at the
+	// cut. Optional: absent when no rules are installed and for
+	// manifests written before the rules engine existed.
+	Rules *rules.State `json:"rules,omitempty"`
 }
 
 // manifestFile names one stripe's snapshot file with enough redundancy
@@ -198,6 +204,15 @@ func (s *Server) Checkpoint() (CheckpointInfo, error) {
 		Keys:      keys,
 		UnixNano:  start.UnixNano(),
 		Watermark: watermark,
+	}
+	// The rules snapshot is taken outside the gate: rule state is
+	// advisory (a firing flag, alert history), not counted data — an
+	// alert that lands in the instant between the cut and here simply
+	// rides in this manifest instead of the next.
+	if s.rules != nil {
+		if rs := s.rules.Snapshot(); len(rs.Rules) > 0 || len(rs.Alerts) > 0 || rs.NextAlertID > 1 {
+			man.Rules = &rs
+		}
 	}
 	for _, f := range files {
 		man.Files = append(man.Files, f)

@@ -1,0 +1,241 @@
+// Standing-query HTTP surface: rule CRUD, alert history, and the live
+// SSE alert stream. The engine itself lives in internal/rules; this file
+// is the transport — JSON in, typed errors out, and Server-Sent Events
+// for the push path.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	sbitmap "repro"
+	"repro/internal/rules"
+)
+
+// RulesResult is the GET /v1/rules response: every installed rule,
+// sorted by ID.
+type RulesResult struct {
+	Rules []rules.Spec `json:"rules"`
+}
+
+// AlertsResult is the GET /v1/alerts response: recent alerts, newest
+// first.
+type AlertsResult struct {
+	Alerts []rules.Alert `json:"alerts"`
+}
+
+// RuleDeleted is the DELETE /v1/rules/{id} response.
+type RuleDeleted struct {
+	ID      string `json:"id"`
+	Deleted bool   `json:"deleted"`
+}
+
+// writeRuleError maps the rules package's typed failures onto the
+// service's error envelope: a validation failure is 400 bad_rule with
+// the offending field in the message, a windowed rule on an unwindowed
+// store reuses the query paths' window_not_configured, and an unknown
+// rule ID is 404 unknown_rule.
+func writeRuleError(w http.ResponseWriter, err error) {
+	var bad *rules.BadRuleError
+	switch {
+	case errors.Is(err, sbitmap.ErrNotWindowed):
+		writeError(w, http.StatusBadRequest, CodeWindowNotConf,
+			"this store has no windowed(...) spec modifier; windowed rules need a windowed spec: %v", err)
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, CodeBadRule, "%v", err)
+	case errors.Is(err, rules.ErrUnknownRule):
+		writeError(w, http.StatusNotFound, CodeUnknownRule, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRule, "%v", err)
+	}
+}
+
+// ruleBodyBytes bounds a PUT /v1/rules body; a rule spec is a few
+// hundred bytes of JSON, never megabytes.
+const ruleBodyBytes = 1 << 16
+
+// strictUnmarshal decodes a rule spec rejecting unknown fields: a typo'd
+// field name ("treshold") silently becoming the zero value would
+// otherwise install a rule that never fires.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after the rule object")
+	}
+	return nil
+}
+
+func (s *Server) handleRulePut(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, ruleBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		bodyReadError(w, err)
+		return
+	}
+	var spec rules.Spec
+	if err := strictUnmarshal(data, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRule, "rule body: %v", err)
+		return
+	}
+	installed, err := s.rules.Put(spec)
+	if err != nil {
+		writeRuleError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, installed)
+}
+
+func (s *Server) handleRuleList(w http.ResponseWriter, r *http.Request) {
+	specs := s.rules.List()
+	if specs == nil {
+		specs = []rules.Spec{}
+	}
+	writeJSON(w, http.StatusOK, RulesResult{Rules: specs})
+}
+
+func (s *Server) handleRuleGet(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.rules.Get(r.PathValue("id"))
+	if err != nil {
+		writeRuleError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}
+
+func (s *Server) handleRuleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.rules.Delete(id); err != nil {
+		writeRuleError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RuleDeleted{ID: id, Deleted: true})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "limit=%q is not a positive integer", raw)
+			return
+		}
+		limit = v
+	}
+	alerts := s.rules.Alerts(limit)
+	if alerts == nil {
+		alerts = []rules.Alert{}
+	}
+	writeJSON(w, http.StatusOK, AlertsResult{Alerts: alerts})
+}
+
+// sseKeepalive is how often the alert stream emits a comment line so
+// idle connections are distinguishable from dead ones (and intermediate
+// proxies keep the stream open).
+const sseKeepalive = 15 * time.Second
+
+// alertStreamBuffer is each SSE subscriber's backlog tolerance: alerts
+// emitted while the subscriber's channel is this far behind are dropped
+// from the feed (counted in stats), never from the history ring — a
+// consumer re-syncs from GET /v1/alerts by ID.
+const alertStreamBuffer = 256
+
+// handleAlertStream serves GET /v1/alerts/stream: the live alert feed as
+// Server-Sent Events, one "alert" event per alert with the alert ID as
+// the SSE id (so EventSource reconnection and client-side dedup work off
+// the same monotone cursor). ?replay=N prepends the N most recent
+// historical alerts, oldest first. The subscription is registered before
+// the replay is read, so an alert landing in between is delivered twice
+// rather than lost; IDs make the duplicate harmless.
+func (s *Server) handleAlertStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeBadRequest,
+			"streaming is not supported by this connection")
+		return
+	}
+	replay := 0
+	if raw := r.URL.Query().Get("replay"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "replay=%q is not a non-negative integer", raw)
+			return
+		}
+		replay = v
+	}
+
+	ch, cancel := s.rules.Subscribe(alertStreamBuffer)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	if replay > 0 {
+		hist := s.rules.Alerts(replay)
+		for i := len(hist) - 1; i >= 0; i-- { // Alerts is newest-first; emit oldest-first
+			if err := writeSSEAlert(w, hist[i]); err != nil {
+				return
+			}
+		}
+	}
+	flusher.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case a, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeSSEAlert(w, a); err != nil {
+				return
+			}
+			// Drain whatever else is queued before flushing: a burst of
+			// alerts goes out in one write.
+			for drained := false; !drained; {
+				select {
+				case a, ok := <-ch:
+					if !ok {
+						drained = true
+						break
+					}
+					if err := writeSSEAlert(w, a); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flusher.Flush()
+		case <-keepalive.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSEAlert emits one alert as an SSE event.
+func writeSSEAlert(w io.Writer, a rules.Alert) error {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", a.ID, data)
+	return err
+}

@@ -12,9 +12,18 @@
 //	                     decodes straight onto the Store's keyed batch path
 //	GET  /v1/estimate    ?key=K — one key's distinct-count estimate;
 //	                     &window=5m answers over the trailing window on a
-//	                     store built with the windowed(...) spec modifier
+//	                     store built with the windowed(...) spec modifier;
+//	                     repeating key= reads many keys in one batched pass
 //	GET  /v1/topk        ?k=N — heavy hitters by estimate
 //	GET  /v1/stats       store totals, spec, and live ingest/query metrics
+//	PUT  /v1/rules       install (or replace) a standing query; body is a
+//	                     rules.Spec — threshold, prefix (superspreader), or
+//	                     movers
+//	GET  /v1/rules       list installed rules; /v1/rules/{id} reads one
+//	DELETE /v1/rules/{id}  remove a rule
+//	GET  /v1/alerts      ?limit=N — recent alert history, newest first
+//	GET  /v1/alerts/stream  live alerts as Server-Sent Events; ?replay=N
+//	                     prepends the N most recent historical alerts
 //	POST /v1/merge       body is a Store snapshot envelope from a peer or
 //	                     edge agent; key-wise union merge (Mergeable kinds)
 //	POST /v1/checkpoint  write a durable snapshot now
@@ -51,6 +60,7 @@ import (
 
 	sbitmap "repro"
 	"repro/internal/pstats"
+	"repro/internal/rules"
 	"repro/internal/wal"
 )
 
@@ -96,6 +106,15 @@ type Config struct {
 	// MaxBodyBytes bounds ingest/merge request bodies; 0 means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// RuleEvalInterval, when > 0, runs the standing-query engine on a
+	// timer: every interval the server ticks the rules engine, scanning
+	// the stripes dirtied since the previous tick. 0 disables the timer;
+	// rules still evaluate on the ingest hot path (threshold rules) and
+	// whenever Rules().Tick is driven explicitly (tests, benches).
+	RuleEvalInterval time.Duration
+	// AlertRing caps the in-memory alert history ring served by
+	// GET /v1/alerts; 0 means rules.DefaultRingSize.
+	AlertRing int
 	// Cluster describes this node's place in a sketchd cluster (role,
 	// static peer list, aggregator); the zero value is a standalone node.
 	// Informational: the server reports it on GET /v1/cluster so any node
@@ -140,6 +159,14 @@ type Server struct {
 
 	// wlog is the write-ahead log; nil when Config.WALDir is empty.
 	wlog *wal.Log
+
+	// rules is the standing-query engine watching the store; its state
+	// rides in the checkpoint manifest. The eval loop (when
+	// Config.RuleEvalInterval > 0) ticks it until Close.
+	rules    *rules.Engine
+	evalStop chan struct{}
+	evalDone chan struct{}
+	evalOnce sync.Once
 
 	// ckMu serializes checkpoint writes and guards the manifest chain
 	// (man, ckSince, ckLSN).
@@ -263,12 +290,36 @@ func New(cfg Config) (*Server, error) {
 		// not yet folded into a checkpoint.
 		s.mutations.Store(0)
 	}
+	// The rules engine restores after the store is fully recovered
+	// (checkpoint + WAL tail): restored firing state must attach to the
+	// estimates it fired on, and a rule recompiling against a changed
+	// spec is a refusal, not a silent drop.
+	s.rules = rules.New(s.store, rules.Config{RingSize: cfg.AlertRing})
+	if s.man != nil && s.man.Rules != nil {
+		if err := s.rules.Restore(*s.man.Rules); err != nil {
+			if s.wlog != nil {
+				s.wlog.Close()
+			}
+			return nil, fmt.Errorf("server: refusing to start: %w", err)
+		}
+	}
 	s.recoveryNanos = time.Since(recoverStart).Nanoseconds()
+	if cfg.RuleEvalInterval > 0 {
+		s.evalStop = make(chan struct{})
+		s.evalDone = make(chan struct{})
+		go s.evalLoop(cfg.RuleEvalInterval)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("PUT /v1/rules", s.handleRulePut)
+	s.mux.HandleFunc("GET /v1/rules", s.handleRuleList)
+	s.mux.HandleFunc("GET /v1/rules/{id}", s.handleRuleGet)
+	s.mux.HandleFunc("DELETE /v1/rules/{id}", s.handleRuleDelete)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /v1/alerts/stream", s.handleAlertStream)
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -281,6 +332,26 @@ func New(cfg Config) (*Server, error) {
 // (benchmarks, embedding the service next to local ingest).
 func (s *Server) Store() *sbitmap.Store[string] { return s.store }
 
+// Rules returns the standing-query engine — for in-process composition
+// (benches install rules and drive Tick deterministically instead of
+// waiting on the eval timer).
+func (s *Server) Rules() *rules.Engine { return s.rules }
+
+// evalLoop ticks the rules engine every interval until Close.
+func (s *Server) evalLoop(interval time.Duration) {
+	defer close(s.evalDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.rules.Tick(now)
+		case <-s.evalStop:
+			return
+		}
+	}
+}
+
 // RestoredKeys reports how many keys the start-time checkpoint restore
 // brought back (0 when starting fresh).
 func (s *Server) RestoredKeys() int { return s.restoredKeys }
@@ -289,10 +360,14 @@ func (s *Server) RestoredKeys() int { return s.restoredKeys }
 // replayed on top of the restored checkpoint.
 func (s *Server) ReplayedRecords() int { return s.replayedRecords }
 
-// Close releases the server's durable resources (the WAL's open segment).
-// Call after the HTTP listener has drained; a Server without a WAL needs
-// no Close.
+// Close stops the rule-evaluation loop and releases the server's durable
+// resources (the WAL's open segment). Call after the HTTP listener has
+// drained. Idempotent.
 func (s *Server) Close() error {
+	if s.evalStop != nil {
+		s.evalOnce.Do(func() { close(s.evalStop) })
+		<-s.evalDone
+	}
 	if s.wlog == nil {
 		return nil
 	}
@@ -324,6 +399,8 @@ const (
 	CodeCheckpointWrite = "checkpoint_write"
 	CodeWALWrite        = "wal_write"
 	CodeDurabilityLag   = "durability_lag"
+	CodeBadRule         = "bad_rule"
+	CodeUnknownRule     = "unknown_rule"
 )
 
 // errorBody is the wire form of every non-2xx response.
@@ -368,6 +445,23 @@ type EstimateResult struct {
 	WindowStartUnixNano int64  `json:"window_start_unix_nano,omitempty"`
 	WindowEndUnixNano   int64  `json:"window_end_unix_nano,omitempty"`
 	Tumbling            bool   `json:"tumbling,omitempty"`
+}
+
+// MultiEstimateResult answers a /v1/estimate with repeated key=
+// parameters: one entry per requested key, in request order. The call is
+// 200 even when some (or all) keys are unknown — existence is per-key
+// data, carried by OK.
+type MultiEstimateResult struct {
+	Results []MultiEstimateEntry `json:"results"`
+}
+
+// MultiEstimateEntry is one key's answer in a batched estimate. OK is
+// false (and Estimate 0) for a key the store has never seen or has
+// evicted.
+type MultiEstimateEntry struct {
+	Key      string  `json:"key"`
+	OK       bool    `json:"ok"`
+	Estimate float64 `json:"estimate"`
 }
 
 // Entry is one /v1/topk ranking entry.
@@ -429,6 +523,7 @@ type Stats struct {
 	UptimeSeconds  float64      `json:"uptime_seconds"`
 	RestoredKeys   int          `json:"restored_keys"`
 	Window         *WindowStats `json:"window,omitempty"`
+	Rules          *rules.Stats `json:"rules,omitempty"`
 
 	AddRequests   int64 `json:"add_requests"`
 	Records       int64 `json:"records"`
@@ -577,7 +672,21 @@ func (s *Server) AddFrame(f *Frame) AddResult {
 	s.gate.RLock()
 	res := s.applyFrame(f)
 	s.gate.RUnlock()
+	s.observeIngest(f.Keys, uintptr(unsafe.Pointer(f)))
 	return res
+}
+
+// observeIngest hands an applied batch's keys to the rules engine's
+// threshold hot path. Called after the ingest gate is released (the
+// engine reads estimates back out of the store, and a rule evaluation
+// must never extend the gate's critical section); the engine is
+// synchronous and retains nothing, so keys may alias a transport buffer
+// the caller reuses afterwards. Nil-safe for hand-rolled test servers.
+func (s *Server) observeIngest(keys []string, affinity uintptr) {
+	if s.rules == nil || len(keys) == 0 {
+		return
+	}
+	s.rules.ObserveIngest(keys, time.Now(), affinity)
 }
 
 // applyFrame applies a decoded frame to the store, routing a version-2
@@ -610,14 +719,17 @@ func (s *Server) applyFrame(f *Frame) AddResult {
 // concurrent use.
 func (s *Server) IngestFrame(raw []byte, f *Frame) (AddResult, error) {
 	s.gate.RLock()
-	defer s.gate.RUnlock()
 	if s.wlog != nil {
 		if _, err := s.wlog.Append(walTagFrame, raw); err != nil {
+			s.gate.RUnlock()
 			return AddResult{}, fmt.Errorf("server: wal append: %w", err)
 		}
 		s.walPending.Add(walRecordBytes(len(raw)))
 	}
-	return s.applyFrame(f), nil
+	res := s.applyFrame(f)
+	s.gate.RUnlock()
+	s.observeIngest(f.Keys, uintptr(unsafe.Pointer(f)))
+	return res, nil
 }
 
 // ingestString is the NDJSON counterpart of IngestFrame: walFrame is the
@@ -625,15 +737,16 @@ func (s *Server) IngestFrame(raw []byte, f *Frame) (AddResult, error) {
 // when a WAL is configured), logged before the batch is applied.
 func (s *Server) ingestString(walFrame []byte, keys, items []string) (int, error) {
 	s.gate.RLock()
-	defer s.gate.RUnlock()
 	if s.wlog != nil {
 		if _, err := s.wlog.Append(walTagFrame, walFrame); err != nil {
+			s.gate.RUnlock()
 			return 0, fmt.Errorf("server: wal append: %w", err)
 		}
 		s.walPending.Add(walRecordBytes(len(walFrame)))
 	}
 	changed := s.store.AddBatchString(keys, items)
 	s.mutations.Add(1)
+	s.gate.RUnlock()
 	return changed, nil
 }
 
@@ -643,15 +756,16 @@ func (s *Server) ingestString(walFrame []byte, keys, items []string) (int, error
 // same timestamp, so replay reproduces the window placement exactly.
 func (s *Server) ingestStringAt(walFrame []byte, ts time.Time, keys, items []string) (int, error) {
 	s.gate.RLock()
-	defer s.gate.RUnlock()
 	if s.wlog != nil {
 		if _, err := s.wlog.Append(walTagFrame, walFrame); err != nil {
+			s.gate.RUnlock()
 			return 0, fmt.Errorf("server: wal append: %w", err)
 		}
 		s.walPending.Add(walRecordBytes(len(walFrame)))
 	}
 	changed := s.store.AddBatchStringAt(ts, keys, items)
 	s.mutations.Add(1)
+	s.gate.RUnlock()
 	return changed, nil
 }
 
@@ -771,6 +885,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 				start = end
 			}
 		}
+		s.observeIngest(keys, aff)
 	}
 	s.recordsTotal.Add(aff, int64(res.Records))
 	s.changedTotal.Add(aff, int64(res.Changed))
@@ -780,6 +895,26 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.queryRequests.Add(uintptr(unsafe.Pointer(r)), 1)
 	q := r.URL.Query()
+	keys := q["key"]
+	if len(keys) > 1 {
+		// Repeated key= parameters: one batched store pass, one response.
+		// Per-key existence is data ("ok"), not an HTTP status — a miss in
+		// a batch of 100 must not fail the other 99.
+		if q.Get("window") != "" {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"window queries take a single key; drop ?window= or the extra key= parameters")
+			return
+		}
+		ests := make([]float64, len(keys))
+		oks := make([]bool, len(keys))
+		s.store.EstimateBatch(keys, ests, oks)
+		res := MultiEstimateResult{Results: make([]MultiEstimateEntry, len(keys))}
+		for i := range keys {
+			res.Results[i] = MultiEstimateEntry{Key: keys[i], OK: oks[i], Estimate: ests[i]}
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
 	key := q.Get("key")
 	if key == "" {
 		writeError(w, http.StatusBadRequest, CodeMissingKey, "estimate needs a ?key= parameter")
@@ -883,6 +1018,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ns := s.lastCkUnixNano.Load(); ns != 0 {
 		st.LastCkUnix = ns / int64(time.Second)
 	}
+	rs := s.rules.Stats()
+	st.Rules = &rs
 	if wm, late, ok := s.store.WindowState(); ok {
 		spec := s.store.Spec()
 		ws := &WindowStats{

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"testing"
+)
+
+func testScanCfg() ScanTraceConfig {
+	return ScanTraceConfig{
+		BackgroundKeys: 500, BackgroundMax: 100,
+		Borderline: 20, BorderlineLo: 150, BorderlineHi: 400,
+		Scanners: 5, ScannerLo: 1000, ScannerHi: 2000,
+		Dup: 1.5, Seed: 42,
+	}
+}
+
+// TestScanTraceGroundTruth: draining the trace and counting exact
+// per-key distincts reproduces Spread(k) for every key — the ground
+// truth the detection bench scores against is real.
+func TestScanTraceGroundTruth(t *testing.T) {
+	tr := NewScanTrace(testScanCfg())
+	type keyCount struct {
+		distinct map[uint64]struct{}
+		records  int
+	}
+	seen := map[uint64]*keyCount{}
+	total := 0
+	ForEachRecord(tr, func(key, item uint64) {
+		kc := seen[key]
+		if kc == nil {
+			kc = &keyCount{distinct: map[uint64]struct{}{}}
+			seen[key] = kc
+		}
+		kc.distinct[item] = struct{}{}
+		kc.records++
+		total++
+	})
+	if total != tr.Records() {
+		t.Fatalf("drained %d records, Records() says %d", total, tr.Records())
+	}
+	if len(seen) != tr.Keys() || tr.Keys() != tr.NumKeys() {
+		t.Fatalf("drained %d keys, Keys()=%d NumKeys()=%d", len(seen), tr.Keys(), tr.NumKeys())
+	}
+	for k := 0; k < tr.NumKeys(); k++ {
+		kc := seen[tr.Key(k)]
+		if kc == nil {
+			t.Fatalf("key index %d never emitted", k)
+		}
+		if len(kc.distinct) != tr.Spread(k) {
+			t.Fatalf("key %d: %d distinct items, Spread says %d", k, len(kc.distinct), tr.Spread(k))
+		}
+	}
+}
+
+// TestScanTracePopulations: scanners sit in their configured range and
+// above every background key; TruePositives with a threshold inside the
+// borderline band includes all scanners and only above-threshold keys.
+func TestScanTracePopulations(t *testing.T) {
+	cfg := testScanCfg()
+	tr := NewScanTrace(cfg)
+	for k := 0; k < tr.NumKeys(); k++ {
+		s := tr.Spread(k)
+		switch {
+		case tr.IsScanner(k):
+			if s < cfg.ScannerLo || s > cfg.ScannerHi {
+				t.Fatalf("scanner %d spread %d outside [%d, %d]", k, s, cfg.ScannerLo, cfg.ScannerHi)
+			}
+		case k < cfg.BackgroundKeys:
+			if s < 1 || s > cfg.BackgroundMax {
+				t.Fatalf("background %d spread %d outside [1, %d]", k, s, cfg.BackgroundMax)
+			}
+		default:
+			if s < cfg.BorderlineLo || s > cfg.BorderlineHi {
+				t.Fatalf("borderline %d spread %d outside [%d, %d]", k, s, cfg.BorderlineLo, cfg.BorderlineHi)
+			}
+		}
+	}
+	const T = 250
+	pos := tr.TruePositives(T)
+	scanners := 0
+	for _, k := range pos {
+		if float64(tr.Spread(k)) <= T {
+			t.Fatalf("true positive %d has spread %d <= %v", k, tr.Spread(k), float64(T))
+		}
+		if tr.IsScanner(k) {
+			scanners++
+		}
+	}
+	if scanners != cfg.Scanners {
+		t.Fatalf("%d of %d scanners above threshold %v", scanners, cfg.Scanners, float64(T))
+	}
+	if len(pos) == cfg.Scanners {
+		t.Fatal("no borderline key above the threshold: the band does not straddle it")
+	}
+}
+
+// TestScanTraceDeterminism: same seed, same trace; different seed,
+// different identities.
+func TestScanTraceDeterminism(t *testing.T) {
+	a, b := NewScanTrace(testScanCfg()), NewScanTrace(testScanCfg())
+	for i := 0; i < 1000; i++ {
+		ak, ai, aok := a.NextRecord()
+		bk, bi, bok := b.NextRecord()
+		if ak != bk || ai != bi || aok != bok {
+			t.Fatalf("record %d diverged: (%x, %x, %v) vs (%x, %x, %v)", i, ak, ai, aok, bk, bi, bok)
+		}
+	}
+	cfg := testScanCfg()
+	cfg.Seed = 43
+	c := NewScanTrace(cfg)
+	if c.Key(0) == a.Key(0) {
+		t.Fatal("different seeds share key identities")
+	}
+}
+
+func TestScanTracePanics(t *testing.T) {
+	bad := []ScanTraceConfig{
+		{BackgroundKeys: -1, Dup: 1},
+		{BackgroundKeys: 10, BackgroundMax: 0, Dup: 1},
+		{Borderline: 5, BorderlineLo: 10, BorderlineHi: 5, Dup: 1},
+		{Scanners: 5, ScannerLo: 0, ScannerHi: 5, Dup: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %d accepted: %+v", i, cfg)
+				}
+			}()
+			NewScanTrace(cfg)
+		}()
+	}
+}

@@ -855,6 +855,44 @@ func (s *Store[K]) Estimate(key K) (estimate float64, ok bool) {
 	return estimate, ok
 }
 
+// EstimateBatch answers Estimate for a whole batch of keys in one routed
+// pass: out[i], ok[i] = Estimate(keys[i]). Keys are routed with one
+// batched hash pass and grouped stripe-contiguously (the ingest path's
+// counting sort), so each touched stripe's lock is taken once per batch
+// instead of once per key. Duplicate keys are answered independently.
+// The point reads are per-stripe consistent, not globally atomic — the
+// multi-key read of a dashboard or rules evaluator, not a snapshot. Safe
+// for concurrent use. Panics if the slices' lengths differ.
+func (s *Store[K]) EstimateBatch(keys []K, out []float64, ok []bool) {
+	if len(keys) != len(out) || len(keys) != len(ok) {
+		panic(fmt.Sprintf("sbitmap: Store.EstimateBatch with %d keys, %d out, %d ok",
+			len(keys), len(out), len(ok)))
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sc := s.getScratch(len(keys))
+	defer s.putScratch(sc)
+	counts, offs := s.group(sc, keys)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, rec := range sc.recs[offs[i]-n : offs[i]] {
+			c, hit := st.m[rec.key]
+			ok[rec.pos] = hit
+			if hit {
+				out[rec.pos] = c.Estimate()
+			} else {
+				out[rec.pos] = 0
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
 // WindowEstimate is EstimateWindow's answer: the distinct-count estimate
 // over the covered interval [Start, End), plus how it was produced.
 type WindowEstimate struct {
@@ -995,6 +1033,41 @@ func (s *Store[K]) ForEach(fn func(key K, c Counter) bool) {
 		}
 		st.mu.Unlock()
 	}
+}
+
+// ForEachDirty calls fn for every live key in every stripe mutated at or
+// after generation since, and returns the cut: the new generation that
+// supersedes the scan. since = 0 visits every stripe; since = a previous
+// cut visits only the stripes written in between, so a periodic scanner
+// (the standing-query evaluator) pays in proportion to write activity,
+// not total key count. The generation protocol is MarshalStripes':
+// the generation advances before the scan, so a mutation racing the scan
+// stamps >= cut and is seen by the next pass even if this one missed it.
+// fn runs under the stripe lock with ForEach's contract: read the
+// counter, do not mutate it, do not call Store methods (self-deadlock).
+// fn returning false stops the scan early; the returned cut is still
+// valid (skipped stripes keep their stamps and stay dirty). Multiple
+// scanners with independent since values coexist with each other and
+// with checkpointing — each consumer only ever compares stamps against
+// its own cuts.
+func (s *Store[K]) ForEachDirty(since uint64, fn func(key K, c Counter) bool) (cut uint64) {
+	cut = s.gen.Add(1)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if st.modGen < since {
+			st.mu.Unlock()
+			continue
+		}
+		for k, c := range st.m {
+			if !fn(k, c) {
+				st.mu.Unlock()
+				return cut
+			}
+		}
+		st.mu.Unlock()
+	}
+	return cut
 }
 
 // KeyEstimate is one TopK entry.

@@ -1,0 +1,143 @@
+package sbitmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStoreForEachDirty: the incremental scan visits exactly the keys in
+// stripes touched since the caller's last cut, and independent consumers
+// (two scanners, or a scanner beside the checkpointer's MarshalStripes)
+// do not disturb each other's cuts.
+func TestStoreForEachDirty(t *testing.T) {
+	spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+	s, err := NewStore[uint64](spec, WithStripes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, items := keyedWorkload(300, 10000, 9)
+	s.AddBatch64(keys, items)
+
+	// since = 0: every live key.
+	seen := 0
+	cut := s.ForEachDirty(0, func(uint64, Counter) bool { seen++; return true })
+	if seen != s.Len() {
+		t.Fatalf("full scan visited %d keys, store holds %d", seen, s.Len())
+	}
+	if cut != s.Generation() {
+		t.Fatalf("cut %d != generation %d", cut, s.Generation())
+	}
+
+	// Quiescent incremental scan: nothing.
+	seen = 0
+	cut2 := s.ForEachDirty(cut, func(uint64, Counter) bool { seen++; return true })
+	if seen != 0 {
+		t.Fatalf("quiescent incremental scan visited %d keys", seen)
+	}
+
+	// One add: only that key's stripe rescans.
+	s.AddUint64(keys[0], 42)
+	var got []uint64
+	s.ForEachDirty(cut2, func(k uint64, _ Counter) bool { got = append(got, k); return true })
+	if len(got) == 0 || len(got) >= s.Len() {
+		t.Fatalf("single-add incremental scan visited %d of %d keys", len(got), s.Len())
+	}
+	found := false
+	for _, k := range got {
+		if k == keys[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("incremental scan missed the touched key %d", keys[0])
+	}
+
+	// A racing consumer's cut (MarshalStripes advances the shared
+	// generation) must not wipe this scanner's dirt: stripes touched
+	// before OUR next scan still satisfy modGen >= our old cut.
+	s.AddUint64(keys[1], 7)
+	if _, _, err := s.MarshalStripes(s.Generation() + 1); err != nil {
+		t.Fatal(err)
+	}
+	seen = 0
+	s.ForEachDirty(cut2, func(uint64, Counter) bool { seen++; return true })
+	if seen == 0 {
+		t.Fatal("another consumer's cut hid this scanner's dirty stripes")
+	}
+}
+
+// TestStoreForEachDirtyEarlyStop: fn returning false stops the scan; the
+// unvisited stripes keep their stamps, so the NEXT scan from the same
+// pre-stop cut still sees them.
+func TestStoreForEachDirtyEarlyStop(t *testing.T) {
+	spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+	s, _ := NewStore[uint64](spec, WithStripes(16))
+	for i := uint64(0); i < 200; i++ {
+		s.AddUint64(i, i)
+	}
+	seen := 0
+	s.ForEachDirty(0, func(uint64, Counter) bool { seen++; return seen < 10 })
+	if seen != 10 {
+		t.Fatalf("early-stopped scan visited %d keys, want 10", seen)
+	}
+	seen = 0
+	s.ForEachDirty(0, func(uint64, Counter) bool { seen++; return true })
+	if seen != s.Len() {
+		t.Fatalf("rescan from 0 visited %d keys, want %d", seen, s.Len())
+	}
+}
+
+// TestStoreEstimateBatch: the batched point read answers exactly what
+// per-key Estimate answers, across hits, misses, and duplicates, for both
+// key types.
+func TestStoreEstimateBatch(t *testing.T) {
+	t.Run("uint64", func(t *testing.T) {
+		spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+		s, _ := NewStore[uint64](spec, WithStripes(16))
+		keys, items := keyedWorkload(100, 5000, 21)
+		s.AddBatch64(keys, items)
+
+		probe := []uint64{keys[0], 1 << 60, keys[1], keys[0], 1<<60 + 1}
+		out := make([]float64, len(probe))
+		ok := make([]bool, len(probe))
+		s.EstimateBatch(probe, out, ok)
+		for i, k := range probe {
+			wantEst, wantOK := s.Estimate(k)
+			if ok[i] != wantOK || out[i] != wantEst {
+				t.Fatalf("probe[%d]=%d: got (%v, %v), want (%v, %v)", i, k, out[i], ok[i], wantEst, wantOK)
+			}
+		}
+	})
+	t.Run("string", func(t *testing.T) {
+		spec := MustSpec("hll:mbits=1536")
+		s, _ := NewStore[string](spec)
+		for i := 0; i < 400; i++ {
+			s.AddString(fmt.Sprintf("key-%d", i%30), fmt.Sprintf("item-%d", i))
+		}
+		probe := []string{"key-0", "no-such-key", "key-29", "key-0"}
+		out := make([]float64, len(probe))
+		ok := make([]bool, len(probe))
+		s.EstimateBatch(probe, out, ok)
+		for i, k := range probe {
+			wantEst, wantOK := s.Estimate(k)
+			if ok[i] != wantOK || out[i] != wantEst {
+				t.Fatalf("probe[%d]=%q: got (%v, %v), want (%v, %v)", i, k, out[i], ok[i], wantEst, wantOK)
+			}
+		}
+	})
+	t.Run("length mismatch panics", func(t *testing.T) {
+		spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+		s, _ := NewStore[uint64](spec)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched slice lengths did not panic")
+			}
+		}()
+		s.EstimateBatch(make([]uint64, 3), make([]float64, 2), make([]bool, 3))
+	})
+	t.Run("empty batch", func(t *testing.T) {
+		spec := MustSpec("sbitmap:n=1e4,eps=0.1")
+		s, _ := NewStore[uint64](spec)
+		s.EstimateBatch(nil, nil, nil) // must not panic
+	})
+}
